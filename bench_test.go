@@ -1,0 +1,396 @@
+// Root-level benchmark harness: one benchmark per table/figure of the
+// paper's evaluation plus the ablations called out in DESIGN.md. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark regenerates its experiment end to end (synthetic data →
+// detection → game solving), so ns/op here is the cost of reproducing the
+// artifact, and the per-decision benchmarks (BenchmarkOSSPDecision*) map
+// directly onto the paper's ≈20 ms/alert runtime claim.
+package sag_test
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+	"time"
+
+	sag "github.com/auditgames/sag"
+	"github.com/auditgames/sag/internal/alerts"
+	"github.com/auditgames/sag/internal/emr"
+	"github.com/auditgames/sag/internal/experiments"
+	"github.com/auditgames/sag/internal/logstore"
+	"github.com/auditgames/sag/internal/lp"
+	"github.com/auditgames/sag/internal/sim"
+)
+
+// benchScale keeps the end-to-end experiment benchmarks fast while still
+// covering multiple groups.
+func benchScale() experiments.Scale {
+	return experiments.Scale{Days: 10, HistoryDays: 8, BackgroundPerDay: 100, PairsPerKind: 60, Seed: 2017}
+}
+
+// BenchmarkTable1DailyStats regenerates Table 1 (synthetic world → access
+// logs → rules engine → daily stats).
+func BenchmarkTable1DailyStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2Render regenerates Table 2 (payoff table).
+func BenchmarkTable2Render(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table2().Render(io.Discard)
+	}
+}
+
+// BenchmarkFigure2SingleType regenerates the single-type utility series
+// (paper Figure 2: Same Last Name, budget 20).
+func BenchmarkFigure2SingleType(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Figure2(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if bad := rep.ShapeChecks(); len(bad) != 0 {
+			b.Fatalf("shape violations: %v", bad)
+		}
+	}
+}
+
+// BenchmarkFigure3MultiType regenerates the multi-type utility series
+// (paper Figure 3: 7 types, budget 50).
+func BenchmarkFigure3MultiType(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.Figure3(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if bad := rep.ShapeChecks(); len(bad) != 0 {
+			b.Fatalf("shape violations: %v", bad)
+		}
+	}
+}
+
+// newBenchEngine builds a 7-type OSSP engine against a fixed estimator for
+// per-decision latency measurements.
+func newBenchEngine(b *testing.B, useLP bool) *sag.Engine {
+	b.Helper()
+	inst, err := sim.Table1Instance(sim.AllTable1TypeIDs())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rates := []float64{196.57, 29.02, 140.46, 10.84, 25.43, 15.14, 43.27}
+	eng, err := sag.NewEngine(sag.EngineConfig{
+		Instance: inst,
+		Budget:   1e9, // effectively unlimited so every iteration sees the same state
+		Estimator: sag.EstimatorFunc(func(time.Duration) ([]float64, error) {
+			out := make([]float64, len(rates))
+			copy(out, rates)
+			return out, nil
+		}),
+		Policy:         sag.PolicyOSSP,
+		Rand:           rand.New(rand.NewSource(1)),
+		UseLPSignaling: useLP,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng
+}
+
+// BenchmarkOSSPDecision measures one full per-alert decision (online SSE +
+// closed-form OSSP) — the paper's runtime claim (≈20 ms on their laptop).
+func BenchmarkOSSPDecision(b *testing.B) {
+	eng := newBenchEngine(b, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Process(sag.Alert{Type: i % 7, Time: 9 * time.Hour}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOSSPDecisionLP is the same decision with LP (3) instead of the
+// Theorem 3 closed form (ablation A3's runtime arm).
+func BenchmarkOSSPDecisionLP(b *testing.B) {
+	eng := newBenchEngine(b, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Process(sag.Alert{Type: i % 7, Time: 9 * time.Hour}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOSSPClosedFormVsLP measures just the signaling stage both ways
+// (ablation A3's value-parity arm lives in the signaling tests).
+func BenchmarkOSSPClosedFormVsLP(b *testing.B) {
+	pf := sag.Table2Payoffs()[1]
+	b.Run("closed-form", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sag.SolveOSSP(pf, 0.1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("lp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sag.SolveOSSPLP(pf, 0.1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkOnlineSSESolve measures one LP (2) multiple-LP solve over 7
+// types.
+func BenchmarkOnlineSSESolve(b *testing.B) {
+	inst, err := sim.Table1Instance(sim.AllTable1TypeIDs())
+	if err != nil {
+		b.Fatal(err)
+	}
+	futures := []sag.Poisson{
+		{Lambda: 196.57}, {Lambda: 29.02}, {Lambda: 140.46}, {Lambda: 10.84},
+		{Lambda: 25.43}, {Lambda: 15.14}, {Lambda: 43.27},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sag.SolveOnlineSSE(inst, 50, futures); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationRollback regenerates ablation A1 (rollback on/off).
+func BenchmarkAblationRollback(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationRollback(benchScale()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationBudget regenerates ablation A2 (budget sweep).
+func BenchmarkAblationBudget(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationBudget(benchScale(), []float64{10, 20, 40}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationEstimator regenerates ablation A4 (coverage models).
+func BenchmarkAblationEstimator(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.AblationEstimator(nil, nil)
+	}
+}
+
+// BenchmarkAblationRobust regenerates ablation A5 (price of robustness).
+func BenchmarkAblationRobust(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationRobust(1, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBayesianOSSP measures the Bayesian solver's 4^m enumeration for
+// a three-type prior.
+func BenchmarkBayesianOSSP(b *testing.B) {
+	def := sag.DefenderSide{Covered: 100, Uncovered: -400}
+	types := []sag.AttackerType{
+		{Prior: 0.5, Covered: -2000, Uncovered: 400},
+		{Prior: 0.3, Covered: -300, Uncovered: 800},
+		{Prior: 0.2, Covered: -5000, Uncovered: 200},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sag.SolveBayesianOSSP(def, types, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMultiAttackerSSE measures the joint best-response enumeration
+// for two capability-restricted attackers over 7 types.
+func BenchmarkMultiAttackerSSE(b *testing.B) {
+	inst, err := sim.Table1Instance(sim.AllTable1TypeIDs())
+	if err != nil {
+		b.Fatal(err)
+	}
+	futures := []sag.Poisson{
+		{Lambda: 196.57}, {Lambda: 29.02}, {Lambda: 140.46}, {Lambda: 10.84},
+		{Lambda: 25.43}, {Lambda: 15.14}, {Lambda: 43.27},
+	}
+	caps := [][]int{{0, 1, 2}, {3, 4, 5, 6}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sag.SolveMultiAttackerSSE(inst, 50, futures, caps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkResourceSSE measures the multi-resource equilibrium (two
+// classes over 7 types).
+func BenchmarkResourceSSE(b *testing.B) {
+	inst, err := sim.Table1Instance(sim.AllTable1TypeIDs())
+	if err != nil {
+		b.Fatal(err)
+	}
+	futures := []sag.Poisson{
+		{Lambda: 196.57}, {Lambda: 29.02}, {Lambda: 140.46}, {Lambda: 10.84},
+		{Lambda: 25.43}, {Lambda: 15.14}, {Lambda: 43.27},
+	}
+	classes := []sag.ResourceClass{
+		{Name: "junior", Budget: 40, CanAudit: []bool{true, true, true, false, false, false, false}, CostMultiplier: 1},
+		{Name: "senior", Budget: 10, CostMultiplier: 1.5},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sag.SolveResourceSSE(inst, classes, futures); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNSignalOSSP measures the n-signal enumeration at n=4.
+func BenchmarkNSignalOSSP(b *testing.B) {
+	pf := sag.Table2Payoffs()[1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sag.SolveNSignalOSSP(pf, 0.1, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLogstoreWrite measures access-event append throughput of the
+// binary retention store (the paper's volume is ≈192k events/day).
+func BenchmarkLogstoreWrite(b *testing.B) {
+	dir := b.TempDir()
+	w, err := logstore.NewWriter(dir, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	ev := emr.AccessEvent{Day: 3, Time: 9 * time.Hour, EmployeeID: 123, PatientID: 4567}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.PatientID = i
+		if err := w.Append(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkLogstoreScan measures full-store scan throughput.
+func BenchmarkLogstoreScan(b *testing.B) {
+	dir := b.TempDir()
+	w, err := logstore.NewWriter(dir, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 100_000
+	ev := emr.AccessEvent{Day: 1, Time: 8 * time.Hour}
+	for i := 0; i < n; i++ {
+		ev.EmployeeID = i % 4000
+		ev.PatientID = i % 30000
+		if err := w.Append(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	store, err := logstore.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count, err := store.Count()
+		if err != nil || count != n {
+			b.Fatalf("count=%d err=%v", count, err)
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkDetectionScan measures the rules engine's event throughput — the
+// rate the real-time alerting layer must sustain.
+func BenchmarkDetectionScan(b *testing.B) {
+	world, err := emr.NewWorld(emr.WorldConfig{Seed: 9, Employees: 400, Patients: 2000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := emr.NewGenerator(world, emr.GeneratorConfig{Seed: 9, BackgroundPerDay: 20000, PairsPerKind: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := alerts.NewEngine(world, alerts.NewTable1Taxonomy())
+	if err != nil {
+		b.Fatal(err)
+	}
+	day := gen.Day(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Scan(day); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(day))*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkGeneratorDay measures synthetic workload generation speed.
+func BenchmarkGeneratorDay(b *testing.B) {
+	world, err := emr.NewWorld(emr.WorldConfig{Seed: 9, Employees: 400, Patients: 2000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := emr.NewGenerator(world, emr.GeneratorConfig{Seed: 9, BackgroundPerDay: 20000, PairsPerKind: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(gen.Day(i)) == 0 {
+			b.Fatal("empty day")
+		}
+	}
+}
+
+// BenchmarkLPSolve measures the raw simplex on an LP (2)-shaped program.
+func BenchmarkLPSolve(b *testing.B) {
+	build := func() *lp.Problem {
+		p := lp.New(lp.Maximize, 7)
+		obj := make([]float64, 7)
+		obj[0] = 0.5
+		_ = p.SetObjective(obj)
+		for j := 0; j < 7; j++ {
+			_ = p.SetBounds(j, 0, 50)
+		}
+		for j := 1; j < 7; j++ {
+			row := make([]float64, 7)
+			row[0] = -2400.0 / 196.57
+			row[j] = 2650.0 / 140.46
+			_ = p.AddConstraint(row, lp.GE, -50)
+		}
+		ones := []float64{1, 1, 1, 1, 1, 1, 1}
+		_ = p.AddConstraint(ones, lp.LE, 50)
+		return p
+	}
+	prob := build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lp.Solve(prob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Command sagserver runs the Signaling Audit Game as an HTTP service over
+// a synthetic hospital — the deployment shape the paper describes: the EMR
+// front end posts every access; the service answers, in real time, whether
+// to show the "this access may be investigated" warning.
+//
+// Usage:
+//
+//	sagserver -addr :8080 -budget 50 -seed 2017
+//
+// Then:
+//
+//	curl -s -X POST localhost:8080/v1/access \
+//	     -d '{"employee_id": 400, "patient_id": 2000}'
+//	curl -s localhost:8080/v1/status
+//	curl -s -X POST localhost:8080/v1/cycle/close -d '{}'
+//
+// The service estimates future alert volumes from a simulated 41-day
+// history of the same synthetic world, with the paper's knowledge-rollback
+// stabilizer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"github.com/auditgames/sag/internal/alerts"
+	"github.com/auditgames/sag/internal/emr"
+	"github.com/auditgames/sag/internal/history"
+	"github.com/auditgames/sag/internal/server"
+	"github.com/auditgames/sag/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal("sagserver: ", err)
+	}
+}
+
+func run() error {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		budget    = flag.Float64("budget", 50, "audit budget for the current cycle")
+		seed      = flag.Int64("seed", 2017, "world/engine seed")
+		histDays  = flag.Int("history", 41, "days of simulated history to fit arrival curves on")
+		employees = flag.Int("employees", 400, "background employees in the synthetic world")
+		patients  = flag.Int("patients", 2000, "background patients in the synthetic world")
+	)
+	flag.Parse()
+
+	log.Printf("building synthetic world (%d employees, %d patients)...", *employees, *patients)
+	world, err := emr.NewWorld(emr.WorldConfig{Seed: *seed, Employees: *employees, Patients: *patients})
+	if err != nil {
+		return err
+	}
+	gen, err := emr.NewGenerator(world, emr.GeneratorConfig{Seed: *seed, BackgroundPerDay: 500, PairsPerKind: 120})
+	if err != nil {
+		return err
+	}
+	taxonomy := alerts.NewTable1Taxonomy()
+	detector, err := alerts.NewEngine(world, taxonomy)
+	if err != nil {
+		return err
+	}
+
+	log.Printf("fitting arrival curves on %d days of simulated history...", *histDays)
+	typeIDs := sim.AllTable1TypeIDs()
+	index := make(map[int]int, len(typeIDs))
+	for i, id := range typeIDs {
+		index[id] = i
+	}
+	var recs []history.Record
+	for d := 0; d < *histDays; d++ {
+		scanned, err := detector.Scan(gen.Day(d))
+		if err != nil {
+			return err
+		}
+		for _, a := range scanned {
+			if idx, ok := index[a.Type]; ok {
+				recs = append(recs, history.Record{Day: d, Type: idx, Time: a.Time})
+			}
+		}
+	}
+	curves, err := history.NewCurves(recs, len(typeIDs), *histDays)
+	if err != nil {
+		return err
+	}
+	rollback, err := history.NewRollback(curves, history.DefaultRollbackThreshold)
+	if err != nil {
+		return err
+	}
+
+	inst, err := sim.Table1Instance(typeIDs)
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Config{
+		World:     world,
+		Taxonomy:  taxonomy,
+		TypeIDs:   typeIDs,
+		Instance:  inst,
+		Budget:    *budget,
+		Estimator: rollback,
+		Seed:      *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("sagserver listening on %s (budget %g, %d alert types)\n", *addr, *budget, len(typeIDs))
+	fmt.Println("  POST /v1/access {employee_id, patient_id} → {alert, warn, ...}")
+	fmt.Println("  POST /v1/quit {employee_id}")
+	fmt.Println("  POST /v1/cycle/close {} · POST /v1/cycle/new {budget} · GET /v1/status")
+	return http.ListenAndServe(*addr, srv.Handler())
+}

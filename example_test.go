@@ -1,0 +1,82 @@
+package sag_test
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	sag "github.com/auditgames/sag"
+)
+
+// ExampleSolveOSSP computes the optimal warning scheme for one alert type
+// at a given marginal audit probability.
+func ExampleSolveOSSP() {
+	pf := sag.Table2Payoffs()[1] // "Same Last Name"
+	scheme, err := sag.SolveOSSP(pf, 0.10)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("warn=%.2f audit|warn=%.3f audit|silent=%.2f auditor=%.0f attacker=%.0f\n",
+		scheme.WarnProbability(), scheme.AuditGivenWarn(), scheme.AuditGivenSilent(),
+		scheme.DefenderUtility, scheme.AttackerUtility)
+	// Output:
+	// warn=0.60 audit|warn=0.167 audit|silent=0.00 auditor=-160 attacker=160
+}
+
+// ExampleSolveOnlineSSE computes the no-signaling Stackelberg commitment
+// given a budget and expected future alert volumes.
+func ExampleSolveOnlineSSE() {
+	inst, err := sag.NewInstance([]sag.Payoff{sag.Table2Payoffs()[1]}, sag.UniformCost(1, 1))
+	if err != nil {
+		panic(err)
+	}
+	res, err := sag.SolveOnlineSSE(inst, 20, []sag.Poisson{{Lambda: 200}})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("coverage=%.3f auditor=%.1f\n", res.Coverage[0], res.DefenderUtility)
+	// Output:
+	// coverage=0.101 auditor=-349.7
+}
+
+// ExampleNewEngine runs the online SAG loop over a handful of alerts.
+func ExampleNewEngine() {
+	inst, err := sag.NewInstance([]sag.Payoff{sag.Table2Payoffs()[1]}, sag.UniformCost(1, 1))
+	if err != nil {
+		panic(err)
+	}
+	engine, err := sag.NewEngine(sag.EngineConfig{
+		Instance: inst,
+		Budget:   20,
+		// A fixed estimate keeps the example deterministic; production
+		// code uses sag.NewCurves + sag.NewRollback over historical logs.
+		Estimator: sag.EstimatorFunc(func(time.Duration) ([]float64, error) {
+			return []float64{200}, nil
+		}),
+		Policy: sag.PolicyOSSP,
+		Rand:   rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 3; i++ {
+		d, err := engine.Process(sag.Alert{Type: 0, Time: time.Duration(9+i) * time.Hour})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("alert %d: θ=%.3f signaling-gain=%+.1f\n", i+1, d.Theta, d.OSSPUtility-d.SSEUtility)
+	}
+	// Output:
+	// alert 1: θ=0.101 signaling-gain=+191.0
+	// alert 2: θ=0.101 signaling-gain=+191.0
+	// alert 3: θ=0.101 signaling-gain=+191.0
+}
+
+// ExamplePayoff_DeterrenceThreshold shows the coverage level above which
+// an attack stops being profitable.
+func ExamplePayoff_DeterrenceThreshold() {
+	pf := sag.Table2Payoffs()[1]
+	fmt.Printf("%.4f\n", pf.DeterrenceThreshold())
+	// Output:
+	// 0.1667
+}

@@ -1,0 +1,147 @@
+// Adaptive attacker vs. knowledge rollback.
+//
+// The paper motivates its "knowledge rollback" trick with a strategic late
+// attacker: near the end of the audit cycle the historical data predicts
+// almost no future alerts, the naive estimator lets the budget model relax,
+// and an attack timed at 11pm slips through with high expected utility.
+//
+// This example probes the engine as that attacker would: for every hour of
+// the day it asks (via Preview, which does not commit state) what the
+// attacker's expected utility would be for an alert triggered then — once
+// with rollback enabled and once without — and prints the two exposure
+// profiles side by side.
+//
+// Run with:
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"time"
+
+	sag "github.com/auditgames/sag"
+	"github.com/auditgames/sag/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		totalDays   = 20
+		historyDays = 19
+		budget      = 20.0
+	)
+	// Single-type setting (Same Last Name), like the paper's Figure 2.
+	ds, err := sim.BuildTable1Pipeline(sim.PipelineConfig{
+		Seed:             5,
+		Days:             totalDays,
+		BackgroundPerDay: 200,
+		PairsPerKind:     100,
+	}, []int{1})
+	if err != nil {
+		return err
+	}
+	curves, err := sag.NewCurves(ds.Records(0, historyDays), ds.NumTypes, historyDays)
+	if err != nil {
+		return err
+	}
+	inst, err := sim.Table1Instance([]int{1})
+	if err != nil {
+		return err
+	}
+
+	mkEngine := func(est sag.Estimator) (*sag.Engine, error) {
+		return sag.NewEngine(sag.EngineConfig{
+			Instance:  inst,
+			Budget:    budget,
+			Estimator: est,
+			Policy:    sag.PolicyOSSP,
+			Rand:      rand.New(rand.NewSource(5)),
+		})
+	}
+	rollback, err := sag.NewRollback(curves, sag.DefaultRollbackThreshold)
+	if err != nil {
+		return err
+	}
+	withRB, err := mkEngine(rollback)
+	if err != nil {
+		return err
+	}
+	withoutRB, err := mkEngine(curves) // raw curves: no rollback
+	if err != nil {
+		return err
+	}
+
+	// Drive both engines through the day's real alert stream, probing the
+	// attacker's utility at each full hour before feeding the next alerts.
+	testDay := ds.Days[historyDays]
+	fmt.Printf("probing attacker exposure hour by hour (%d alerts on the audit day)\n\n", len(testDay))
+	fmt.Printf("%-6s %12s %12s | %12s %12s | %12s %12s\n",
+		"hour", "atk(with)", "atk(w/out)", "aud(with)", "aud(w/out)", "B(with)", "B(w/out)")
+
+	next := 0
+	var worstWith, worstWithout float64
+	var lastAudWith, lastAudWithout float64
+	for h := 6; h <= 23; h++ {
+		at := time.Duration(h) * time.Hour
+		// Replay all alerts that arrived before this probe time.
+		for next < len(testDay) && testDay[next].Time < at {
+			a := testDay[next]
+			if _, err := withRB.Process(sag.Alert{Type: a.Type, Time: a.Time}); err != nil {
+				return err
+			}
+			if _, err := withoutRB.Process(sag.Alert{Type: a.Type, Time: a.Time}); err != nil {
+				return err
+			}
+			next++
+		}
+		probe := sag.Alert{Type: 0, Time: at}
+		dWith, err := withRB.Preview(probe)
+		if err != nil {
+			return err
+		}
+		dWithout, err := withoutRB.Preview(probe)
+		if err != nil {
+			return err
+		}
+		uWith, uWithout := attackerUtility(dWith), attackerUtility(dWithout)
+		worstWith = math.Max(worstWith, uWith)
+		worstWithout = math.Max(worstWithout, uWithout)
+		lastAudWith, lastAudWithout = dWith.OSSPUtility, dWithout.OSSPUtility
+		fmt.Printf("%02d:00 %12.1f %12.1f | %12.1f %12.1f | %12.2f %12.2f\n",
+			h, uWith, uWithout,
+			dWith.OSSPUtility, dWithout.OSSPUtility,
+			withRB.RemainingBudget(), withoutRB.RemainingBudget())
+	}
+
+	fmt.Printf("\nattacker's best probe: utility %.1f with rollback vs %.1f without\n", worstWith, worstWithout)
+	fmt.Printf("auditor's end-of-day utility: %.1f with rollback vs %.1f without\n", lastAudWith, lastAudWithout)
+	fmt.Println()
+	fmt.Println("What to look for: with the raw estimator the expected-future-volume curve")
+	fmt.Println("collapses after the evening rush, so late decisions are computed against a")
+	fmt.Println("nearly-empty future. Rollback freezes the estimate at the last healthy")
+	fmt.Println("point, which keeps budget consumption steady across the whole day — the")
+	fmt.Println("property the paper credits for the non-dropping end-of-day curves in its")
+	fmt.Println("Figures 2–3. (This library's Poisson coefficient E[1/max(D,1)] already")
+	fmt.Println("softens the naive estimator's collapse — a leftover budget sliver still")
+	fmt.Println("buys full coverage of a near-empty tail — so the raw-estimator exploit is")
+	fmt.Println("milder here than in the paper's telling; see EXPERIMENTS.md, ablation A1.)")
+	return nil
+}
+
+// attackerUtility extracts the attacker's expected utility from a previewed
+// decision: zero when the game is vacuous or the signaling scheme deters.
+func attackerUtility(d *sag.Decision) float64 {
+	if d.Vacuous {
+		return 0
+	}
+	return math.Max(0, d.Scheme.AttackerUtility)
+}

@@ -1,0 +1,54 @@
+// Quickstart: compute one optimal warning scheme.
+//
+// This is the smallest useful program against the public API: take the
+// paper's "Same Last Name" alert type, suppose the equilibrium says we can
+// audit 10% of such alerts, and ask the library how to signal.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sag "github.com/auditgames/sag"
+)
+
+func main() {
+	// Alert type 1 from the paper's Table 2: an employee opened the record
+	// of a patient with the same last name.
+	pf := sag.Table2Payoffs()[1]
+	fmt.Println("Payoffs for 'Same Last Name' alerts:")
+	fmt.Printf("  auditor:  catch %+.0f / miss %+.0f\n", pf.DefenderCovered, pf.DefenderUncovered)
+	fmt.Printf("  attacker: caught %+.0f / clean %+.0f\n", pf.AttackerCovered, pf.AttackerUncovered)
+	fmt.Printf("  coverage needed to deter outright: %.1f%%\n\n", 100*pf.DeterrenceThreshold())
+
+	// Suppose the online Stackelberg equilibrium allocates a marginal audit
+	// probability of 10% to this type (budget is scarce).
+	const theta = 0.10
+
+	// Without signaling, the auditor's expected utility per victim alert is
+	// the plain SSE value.
+	fmt.Printf("Without signaling (θ = %.0f%%):\n", theta*100)
+	fmt.Printf("  auditor expected utility: %+.1f\n", pf.DefenderExpected(theta))
+	fmt.Printf("  attacker expected utility: %+.1f\n\n", pf.AttackerExpected(theta))
+
+	// With optimal signaling, some alerts trigger a warning dialog. A
+	// rational attacker who sees the warning quits: conditioned on warning,
+	// the audit probability is high enough to make proceeding unprofitable.
+	scheme, err := sag.SolveOSSP(pf, theta)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("With optimal signaling (OSSP):")
+	fmt.Printf("  P(warn)            = %.3f\n", scheme.WarnProbability())
+	fmt.Printf("  P(audit | warn)    = %.3f\n", scheme.AuditGivenWarn())
+	fmt.Printf("  P(audit | silent)  = %.3f   (Theorem 3: never audit unwarned alerts)\n", scheme.AuditGivenSilent())
+	fmt.Printf("  auditor expected utility: %+.1f\n", scheme.DefenderUtility)
+	fmt.Printf("  attacker expected utility: %+.1f  (Theorem 4: unchanged)\n\n", scheme.AttackerUtility)
+
+	gain := scheme.DefenderUtility - pf.DefenderExpected(theta)
+	fmt.Printf("Signaling gain for the auditor: %+.1f per victim alert (Theorem 2: never negative)\n", gain)
+}

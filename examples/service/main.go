@@ -1,0 +1,138 @@
+// Service: the full client/server loop, in process.
+//
+// This example stands up the SAG HTTP service (the same code cmd/sagserver
+// runs) on an ephemeral port and then plays both sides of the paper's
+// deployment story from a client's point of view:
+//
+//  1. a benign clerk reads an unrelated patient's chart — no alert, no
+//     dialog;
+//  2. an employee repeatedly opens the record of a patient with their own
+//     last name — alerts every time, warnings at the equilibrium rate;
+//  3. the employee once abandons a warned access ("Quit") — and from then
+//     on every suspicious access they make is flagged and warned, the
+//     paper's §4 identity-revelation argument in action;
+//  4. the cycle closes and the retrospective audit plan comes back.
+//
+// Run with:
+//
+//	go run ./examples/service
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"github.com/auditgames/sag/internal/alerts"
+	"github.com/auditgames/sag/internal/core"
+	"github.com/auditgames/sag/internal/emr"
+	"github.com/auditgames/sag/internal/server"
+	"github.com/auditgames/sag/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Build the hospital. The generator plants related employee/patient
+	// pairs; the first planted pair shares a last name (our "insider").
+	world, err := emr.NewWorld(emr.WorldConfig{Seed: 21, Employees: 40, Patients: 150, Departments: 5})
+	if err != nil {
+		return err
+	}
+	insiderEmp, insiderPat := world.NumEmployees(), world.NumPatients()
+	if _, err := emr.NewGenerator(world, emr.GeneratorConfig{Seed: 21, PairsPerKind: 3, BackgroundPerDay: 1}); err != nil {
+		return err
+	}
+
+	inst, err := sim.Table1Instance(sim.AllTable1TypeIDs())
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Config{
+		World:    world,
+		Taxonomy: alerts.NewTable1Taxonomy(),
+		TypeIDs:  sim.AllTable1TypeIDs(),
+		Instance: inst,
+		Budget:   50,
+		Estimator: core.EstimatorFunc(func(time.Duration) ([]float64, error) {
+			return []float64{196.57, 29.02, 140.46, 10.84, 25.43, 15.14, 43.27}, nil
+		}),
+		Seed:  21,
+		Clock: func() time.Duration { return 10 * time.Hour },
+	})
+	if err != nil {
+		return err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	fmt.Printf("service up at %s\n\n", ts.URL)
+
+	post := func(path string, body, out any) error {
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			return err
+		}
+		resp, err := http.Post(ts.URL+path, "application/json", &buf)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if out != nil {
+			return json.NewDecoder(resp.Body).Decode(out)
+		}
+		return nil
+	}
+
+	// 1. Benign access.
+	var benign server.AccessResponse
+	if err := post("/v1/access", server.AccessRequest{EmployeeID: 0, PatientID: 5}, &benign); err != nil {
+		return err
+	}
+	fmt.Printf("clerk reads unrelated chart:        alert=%v warn=%v\n", benign.Alert, benign.Warn)
+
+	// 2. The insider pokes at a relative's record.
+	warned := 0
+	for i := 0; i < 10; i++ {
+		var resp server.AccessResponse
+		if err := post("/v1/access", server.AccessRequest{EmployeeID: insiderEmp, PatientID: insiderPat}, &resp); err != nil {
+			return err
+		}
+		if resp.Warn {
+			warned++
+		}
+	}
+	fmt.Printf("insider opens relative's chart 10×: warned %d times (%s)\n", warned, "Same Last Name alerts")
+
+	// 3. One quit → flagged forever.
+	if err := post("/v1/quit", server.QuitRequest{EmployeeID: insiderEmp}, nil); err != nil {
+		return err
+	}
+	var after server.AccessResponse
+	if err := post("/v1/access", server.AccessRequest{EmployeeID: insiderEmp, PatientID: insiderPat}, &after); err != nil {
+		return err
+	}
+	fmt.Printf("after quitting once:                flagged=%v warn=%v (always investigated)\n", after.Flagged, after.Warn)
+
+	// 4. Close the cycle.
+	var closed server.CloseResponse
+	if err := post("/v1/cycle/close", struct{}{}, &closed); err != nil {
+		return err
+	}
+	audited := 0
+	for _, a := range closed.Audits {
+		if a.Audited {
+			audited++
+		}
+	}
+	fmt.Printf("\ncycle closed: %d alerts in plan, %d selected for retrospective audit (cost %.1f)\n",
+		len(closed.Audits), audited, closed.TotalCost)
+	return nil
+}

@@ -1,0 +1,3 @@
+module github.com/auditgames/sag
+
+go 1.22

@@ -1,0 +1,371 @@
+// Package adversary provides attacker models and a Monte-Carlo harness
+// that validates the game-theoretic expectations empirically: it replays
+// audit days with an actual planted attack, samples the engine's signals
+// and the end-of-cycle audits, and measures the realized utilities both
+// sides collect. Agreement between these empirical averages and the
+// analytic LP values is the strongest end-to-end check of the whole
+// machinery — it exercises signal sampling, budget pacing, the
+// retrospective audit draw, and the attacker's best-response logic
+// together.
+//
+// Attacker strategies plan from public information only (the committed
+// game instance, the budget, and the historical arrival curves — exactly
+// the Stackelberg information set), never from the realized day.
+package adversary
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/auditgames/sag/internal/core"
+	"github.com/auditgames/sag/internal/dist"
+	"github.com/auditgames/sag/internal/game"
+	"github.com/auditgames/sag/internal/history"
+)
+
+// Attack is one planned attack: trigger an alert of Type at Time.
+type Attack struct {
+	Type int
+	Time time.Duration
+}
+
+// PlanContext is the attacker's (public) information set.
+type PlanContext struct {
+	Instance *game.Instance
+	Budget   float64
+	// Curves are the historical arrival curves both sides estimate from
+	// public log volumes.
+	Curves *history.Curves
+	// Rand drives randomized strategies.
+	Rand *rand.Rand
+}
+
+// Strategy plans an attack from public information. ok=false means the
+// attacker chooses not to attack at all.
+type Strategy interface {
+	Name() string
+	Plan(ctx PlanContext) (Attack, bool)
+}
+
+// UniformAttacker attacks at a time drawn from the historical arrival
+// distribution, using the attacker-preferred type at day start (argmax of
+// his unprotected utility).
+type UniformAttacker struct{}
+
+// Name implements Strategy.
+func (UniformAttacker) Name() string { return "uniform" }
+
+// Plan implements Strategy.
+func (UniformAttacker) Plan(ctx PlanContext) (Attack, bool) {
+	t := preferType(ctx.Instance)
+	// Sample an arrival time by inverting the day-start future curve:
+	// pick uniformly among expected arrivals.
+	at := sampleHistoricalTime(ctx, ctx.Rand)
+	return Attack{Type: t, Time: at}, true
+}
+
+// EndOfDayAttacker waits until the configured late hour — the adversary the
+// knowledge-rollback trick is aimed at.
+type EndOfDayAttacker struct {
+	// Hour of day to strike (default 23).
+	Hour int
+}
+
+// Name implements Strategy.
+func (a EndOfDayAttacker) Name() string { return "end-of-day" }
+
+// Plan implements Strategy.
+func (a EndOfDayAttacker) Plan(ctx PlanContext) (Attack, bool) {
+	h := a.Hour
+	if h <= 0 || h > 23 {
+		h = 23
+	}
+	return Attack{Type: preferType(ctx.Instance), Time: time.Duration(h)*time.Hour + 30*time.Minute}, true
+}
+
+// BestResponseAttacker simulates the auditor's expected (deterministic)
+// budget trajectory over the historical day shape and strikes the
+// (type, hour) cell with the highest expected attacker utility — the
+// strongest attacker consistent with the Stackelberg information set.
+type BestResponseAttacker struct{}
+
+// Name implements Strategy.
+func (BestResponseAttacker) Name() string { return "best-response" }
+
+// Plan implements Strategy.
+func (BestResponseAttacker) Plan(ctx PlanContext) (Attack, bool) {
+	inst := ctx.Instance
+	k := inst.NumTypes()
+	budget := ctx.Budget
+	bestU := 0.0 // attacking must beat not attacking (utility 0)
+	var best Attack
+	found := false
+	// Walk the expected day hour by hour, decaying the budget the way the
+	// auditor's own pacing would in expectation.
+	for h := 0; h <= 23; h++ {
+		at := time.Duration(h) * time.Hour
+		rates, err := ctx.Curves.FutureRates(at)
+		if err != nil {
+			return Attack{}, false
+		}
+		futures := make([]dist.Poisson, k)
+		for i, r := range rates {
+			futures[i] = dist.Poisson{Lambda: r}
+		}
+		res, err := game.SolveOnlineSSE(inst, budget, futures)
+		if err != nil || res.BestType == -1 {
+			continue
+		}
+		for t := 0; t < k; t++ {
+			if rates[t] <= 0 {
+				continue
+			}
+			// Under the OSSP the attacker's utility for type t equals his
+			// SSE utility when positive, and 0 when coverage deters
+			// (Theorem 4).
+			u := math.Max(0, inst.Payoffs[t].AttackerExpected(res.Coverage[t]))
+			if u > bestU+1e-9 {
+				bestU = u
+				best = Attack{Type: t, Time: at + 30*time.Minute}
+				found = true
+			}
+		}
+		// Expected spend over the next hour: arrivals × their coverage.
+		next := at + time.Hour
+		nextRates, err := ctx.Curves.FutureRates(next)
+		if err != nil {
+			return Attack{}, false
+		}
+		for t := 0; t < k; t++ {
+			arrivals := rates[t] - nextRates[t]
+			if arrivals > 0 {
+				budget -= arrivals * res.Coverage[t] * inst.AuditCosts[t]
+			}
+		}
+		if budget < 0 {
+			budget = 0
+		}
+	}
+	return best, found
+}
+
+// preferType returns argmax U_au — the attacker's favorite unprotected
+// target.
+func preferType(inst *game.Instance) int {
+	best, bestU := 0, math.Inf(-1)
+	for t, p := range inst.Payoffs {
+		if p.AttackerUncovered > bestU {
+			best, bestU = t, p.AttackerUncovered
+		}
+	}
+	return best
+}
+
+// sampleHistoricalTime draws an arrival time from the historical curve by
+// picking a uniform expected arrival and finding the hour where the
+// remaining-count curve crosses it.
+func sampleHistoricalTime(ctx PlanContext, rng *rand.Rand) time.Duration {
+	total := ctx.Curves.TotalFutureMean(0)
+	if total <= 0 {
+		return 12 * time.Hour
+	}
+	target := rng.Float64() * total
+	lo, hi := time.Duration(0), 24*time.Hour
+	for hi-lo > time.Minute {
+		mid := (lo + hi) / 2
+		// Remaining after mid decreases with mid; passed = total−remaining.
+		passed := total - ctx.Curves.TotalFutureMean(mid)
+		if passed < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// TrialResult is one Monte-Carlo day with a planted attack.
+type TrialResult struct {
+	Attacked bool
+	Warned   bool
+	Quit     bool
+	Audited  bool
+	// AuditorUtility / AttackerUtility are the realized utilities of the
+	// planted attack (0 when the attacker stays out or quits).
+	AuditorUtility  float64
+	AttackerUtility float64
+	// ExpectedAuditor is the analytic OSSP value for the attack alert at
+	// decision time, for calibration checks.
+	ExpectedAuditor float64
+}
+
+// Config parameterizes the Monte-Carlo evaluation.
+type Config struct {
+	Instance *game.Instance
+	Budget   float64
+	// Day is the base (false-positive) alert stream the attack is planted
+	// into, sorted by time; types are indices into Instance.
+	Day []core.Alert
+	// Curves estimate futures; the engine wraps them with rollback at
+	// RollbackThreshold (negative disables).
+	Curves            *history.Curves
+	RollbackThreshold float64
+	Strategy          Strategy
+	Trials            int
+	Seed              int64
+}
+
+// Report aggregates the Monte-Carlo trials.
+type Report struct {
+	StrategyName string
+	Trials       int
+	Attacked     int
+	Warnings     int
+	Quits        int
+	Caught       int
+	MeanAuditor  float64
+	MeanAttacker float64
+	MeanExpected float64
+}
+
+// Run evaluates the strategy over seeded Monte-Carlo trials. Each trial
+// replays the day with the planted attack through a fresh OSSP engine,
+// samples the warning for every alert, and samples the retrospective audit
+// for the attack alert; a warned rational attacker quits (the paper's §4
+// argument makes quit-then-retry dominated, so quitting ends the trial).
+func Run(cfg Config) (*Report, error) {
+	if cfg.Instance == nil || cfg.Curves == nil || cfg.Strategy == nil {
+		return nil, fmt.Errorf("adversary: Instance, Curves and Strategy are required")
+	}
+	if cfg.Trials <= 0 {
+		return nil, fmt.Errorf("adversary: Trials must be positive, got %d", cfg.Trials)
+	}
+	rep := &Report{StrategyName: cfg.Strategy.Name(), Trials: cfg.Trials}
+	var audSum, atkSum, expSum float64
+	for trial := 0; trial < cfg.Trials; trial++ {
+		res, err := runTrial(cfg, int64(trial))
+		if err != nil {
+			return nil, err
+		}
+		if res.Attacked {
+			rep.Attacked++
+		}
+		if res.Warned {
+			rep.Warnings++
+		}
+		if res.Quit {
+			rep.Quits++
+		}
+		if res.Audited {
+			rep.Caught++
+		}
+		audSum += res.AuditorUtility
+		atkSum += res.AttackerUtility
+		expSum += res.ExpectedAuditor
+	}
+	rep.MeanAuditor = audSum / float64(cfg.Trials)
+	rep.MeanAttacker = atkSum / float64(cfg.Trials)
+	rep.MeanExpected = expSum / float64(cfg.Trials)
+	return rep, nil
+}
+
+func runTrial(cfg Config, trial int64) (TrialResult, error) {
+	seed := cfg.Seed*1_000_003 + trial
+	rng := rand.New(rand.NewSource(seed))
+
+	var estimator core.Estimator = cfg.Curves
+	if cfg.RollbackThreshold >= 0 {
+		rb, err := history.NewRollback(cfg.Curves, cfg.RollbackThreshold)
+		if err != nil {
+			return TrialResult{}, err
+		}
+		estimator = rb
+	}
+	eng, err := core.NewEngine(core.Config{
+		Instance:  cfg.Instance,
+		Budget:    cfg.Budget,
+		Estimator: estimator,
+		Policy:    core.PolicyOSSP,
+		Rand:      rand.New(rand.NewSource(seed ^ 0x9E3779B9)),
+	})
+	if err != nil {
+		return TrialResult{}, err
+	}
+
+	attack, attacks := cfg.Strategy.Plan(PlanContext{
+		Instance: cfg.Instance,
+		Budget:   cfg.Budget,
+		Curves:   cfg.Curves,
+		Rand:     rng,
+	})
+	if !attacks {
+		// No attack: replay the plain day; both sides get 0 from the
+		// (nonexistent) attack.
+		for _, a := range cfg.Day {
+			if _, err := eng.Process(a); err != nil {
+				return TrialResult{}, err
+			}
+		}
+		return TrialResult{}, nil
+	}
+
+	// Merge the attack alert into the day stream at its time position.
+	stream := make([]core.Alert, 0, len(cfg.Day)+1)
+	stream = append(stream, cfg.Day...)
+	stream = append(stream, core.Alert{Type: attack.Type, Time: attack.Time})
+	sort.SliceStable(stream, func(i, j int) bool { return stream[i].Time < stream[j].Time })
+	attackIdx := -1
+	for i, a := range stream {
+		if a.Type == attack.Type && a.Time == attack.Time {
+			attackIdx = i
+			break
+		}
+	}
+
+	res := TrialResult{Attacked: true}
+	for i, a := range stream {
+		d, err := eng.Process(a)
+		if err != nil {
+			return TrialResult{}, err
+		}
+		if i != attackIdx {
+			continue
+		}
+		if d.Vacuous {
+			continue
+		}
+		// The analytic value of the attack alert is its own scheme's
+		// defender utility (the attack type need not be the equilibrium
+		// best response when the strategy is suboptimal).
+		res.ExpectedAuditor = d.Scheme.DefenderUtility
+		pf := cfg.Instance.Payoffs[a.Type]
+		if d.Warned {
+			res.Warned = true
+			// Rational response to the warning: proceed only if the
+			// conditional utility is strictly positive. The OSSP makes the
+			// persuasion constraint binding (conditional utility exactly
+			// 0), so indifference — resolved toward quitting per the
+			// strong-SSE convention — needs a round-off tolerance.
+			cond := d.Scheme.AuditGivenWarn()*pf.AttackerCovered + (1-d.Scheme.AuditGivenWarn())*pf.AttackerUncovered
+			tol := 1e-9 * (math.Abs(pf.AttackerCovered) + pf.AttackerUncovered)
+			if cond <= tol {
+				res.Quit = true
+				continue // both sides realize 0
+			}
+		}
+		// Attack goes through; the retrospective audit draw decides who
+		// wins.
+		if rng.Float64() < d.AuditCharge {
+			res.Audited = true
+			res.AuditorUtility = pf.DefenderCovered
+			res.AttackerUtility = pf.AttackerCovered
+		} else {
+			res.AuditorUtility = pf.DefenderUncovered
+			res.AttackerUtility = pf.AttackerUncovered
+		}
+	}
+	return res, nil
+}

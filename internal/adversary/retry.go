@@ -1,0 +1,173 @@
+package adversary
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/auditgames/sag/internal/core"
+	"github.com/auditgames/sag/internal/history"
+)
+
+// This file simulates the attacker the paper's §4 discussion rules out:
+// "can the attacker keep attacking until receiving no warning, in which
+// case he can attack safely under OSSP?" The paper argues no — once an
+// attacker quits, his identity is essentially revealed (quits are rare),
+// so a later "successful" access only hands the auditor forensic evidence.
+//
+// RunRetry makes that argument empirical: the retry attacker quits on a
+// warning and strikes again later; the auditor flags quitters and always
+// investigates their subsequent suspicious accesses. The report compares
+// his realized utility to the rational single-shot attacker's.
+
+// RetryReport compares the quit-and-retry strategy against the rational
+// single-shot response.
+type RetryReport struct {
+	Trials int
+	// Warned counts trials whose first attempt drew a warning (and hence
+	// a retry).
+	Warned int
+	// CaughtOnRetry counts retries investigated via the quitter flag.
+	CaughtOnRetry int
+	// MeanRetryAttacker / MeanSingleShotAttacker are the attacker's
+	// realized mean utilities under each response to warnings.
+	MeanRetryAttacker      float64
+	MeanSingleShotAttacker float64
+	// MeanRetryAuditor is the auditor's realized mean utility against the
+	// retry attacker (forensic catches pay U_dc).
+	MeanRetryAuditor float64
+}
+
+// RunRetry evaluates the quit-and-retry attacker over seeded trials using
+// the same day/curves machinery as Run. The retry, when it happens, is
+// always investigated (the quitter flag), so it realizes the covered
+// payoffs for both sides.
+func RunRetry(cfg Config) (*RetryReport, error) {
+	if cfg.Instance == nil || cfg.Curves == nil || cfg.Strategy == nil {
+		return nil, fmt.Errorf("adversary: Instance, Curves and Strategy are required")
+	}
+	if cfg.Trials <= 0 {
+		return nil, fmt.Errorf("adversary: Trials must be positive, got %d", cfg.Trials)
+	}
+	rep := &RetryReport{Trials: cfg.Trials}
+	var retrySum, singleSum, auditorSum float64
+	for trial := 0; trial < cfg.Trials; trial++ {
+		res, err := runRetryTrial(cfg, int64(trial))
+		if err != nil {
+			return nil, err
+		}
+		if res.firstWarned {
+			rep.Warned++
+		}
+		if res.caughtOnRetry {
+			rep.CaughtOnRetry++
+		}
+		retrySum += res.retryAttacker
+		singleSum += res.singleAttacker
+		auditorSum += res.retryAuditor
+	}
+	n := float64(cfg.Trials)
+	rep.MeanRetryAttacker = retrySum / n
+	rep.MeanSingleShotAttacker = singleSum / n
+	rep.MeanRetryAuditor = auditorSum / n
+	return rep, nil
+}
+
+type retryTrial struct {
+	firstWarned    bool
+	caughtOnRetry  bool
+	retryAttacker  float64
+	singleAttacker float64
+	retryAuditor   float64
+}
+
+func runRetryTrial(cfg Config, trial int64) (retryTrial, error) {
+	seed := cfg.Seed*1_000_003 + trial
+	rng := rand.New(rand.NewSource(seed))
+
+	var estimator core.Estimator = cfg.Curves
+	if cfg.RollbackThreshold >= 0 {
+		rb, err := history.NewRollback(cfg.Curves, cfg.RollbackThreshold)
+		if err != nil {
+			return retryTrial{}, err
+		}
+		estimator = rb
+	}
+	eng, err := core.NewEngine(core.Config{
+		Instance:  cfg.Instance,
+		Budget:    cfg.Budget,
+		Estimator: estimator,
+		Policy:    core.PolicyOSSP,
+		Rand:      rand.New(rand.NewSource(seed ^ 0x9E3779B9)),
+	})
+	if err != nil {
+		return retryTrial{}, err
+	}
+
+	attack, attacks := cfg.Strategy.Plan(PlanContext{
+		Instance: cfg.Instance,
+		Budget:   cfg.Budget,
+		Curves:   cfg.Curves,
+		Rand:     rng,
+	})
+	if !attacks {
+		return retryTrial{}, nil
+	}
+
+	stream := make([]core.Alert, 0, len(cfg.Day)+1)
+	stream = append(stream, cfg.Day...)
+	stream = append(stream, core.Alert{Type: attack.Type, Time: attack.Time})
+	sort.SliceStable(stream, func(i, j int) bool { return stream[i].Time < stream[j].Time })
+
+	var out retryTrial
+	pf := cfg.Instance.Payoffs[attack.Type]
+	for _, a := range stream {
+		d, err := eng.Process(a)
+		if err != nil {
+			return retryTrial{}, err
+		}
+		if a.Type != attack.Type || a.Time != attack.Time {
+			continue
+		}
+		if d.Vacuous {
+			continue
+		}
+		if !d.Warned {
+			// No warning: both strategies proceed identically; the silent
+			// branch is never audited under the OSSP (Theorem 3).
+			if rng.Float64() < d.AuditCharge {
+				out.retryAttacker = pf.AttackerCovered
+				out.singleAttacker = pf.AttackerCovered
+				out.retryAuditor = pf.DefenderCovered
+			} else {
+				out.retryAttacker = pf.AttackerUncovered
+				out.singleAttacker = pf.AttackerUncovered
+				out.retryAuditor = pf.DefenderUncovered
+			}
+			continue
+		}
+		// Warned. The rational single-shot attacker quits for good: 0.
+		out.firstWarned = true
+		out.singleAttacker = 0
+		// The retry attacker quits now (revealing himself) and strikes
+		// again later in the cycle. The auditor flags quitters, so the
+		// retry is always investigated: covered payoffs on both sides.
+		// (Retrying at time t' still shows a warning with some chance, but
+		// even an unwarned retry is investigated via the flag, so the
+		// outcome is deterministic.)
+		out.caughtOnRetry = true
+		out.retryAttacker = pf.AttackerCovered
+		out.retryAuditor = pf.DefenderCovered
+	}
+	return out, nil
+}
+
+// RetryIsDominated reports the paper's §4 claim on a finished report: the
+// retry strategy earns the attacker no more than quitting for good.
+func (r *RetryReport) RetryIsDominated(tol float64) bool {
+	return r.MeanRetryAttacker <= r.MeanSingleShotAttacker+tol
+}
+
+// timeOfDay is a tiny helper for tests.
+func timeOfDay(h float64) time.Duration { return time.Duration(h * float64(time.Hour)) }

@@ -1,0 +1,68 @@
+package adversary
+
+import (
+	"testing"
+
+	"github.com/auditgames/sag/internal/history"
+)
+
+func TestRetryIsDominated(t *testing.T) {
+	// The paper's §4 claim: quitting and retrying is dominated by quitting
+	// for good, because the quit reveals the attacker.
+	inst, day, curves := fixture(t, 40, 5)
+	rep, err := RunRetry(Config{
+		Instance:          inst,
+		Budget:            5,
+		Day:               day,
+		Curves:            curves,
+		RollbackThreshold: history.DefaultRollbackThreshold,
+		Strategy:          UniformAttacker{},
+		Trials:            400,
+		Seed:              9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Warned == 0 {
+		t.Fatal("no first-attempt warnings across 400 trials is implausible")
+	}
+	if rep.CaughtOnRetry != rep.Warned {
+		t.Fatalf("every warned retry should be caught via the flag: %d vs %d",
+			rep.CaughtOnRetry, rep.Warned)
+	}
+	if !rep.RetryIsDominated(1e-9) {
+		t.Fatalf("retrying should be dominated: retry %.1f vs single-shot %.1f",
+			rep.MeanRetryAttacker, rep.MeanSingleShotAttacker)
+	}
+	// With warnings happening, the domination is strict: each warned trial
+	// costs the retry attacker U_ac < 0 instead of 0.
+	if rep.MeanRetryAttacker >= rep.MeanSingleShotAttacker {
+		t.Fatalf("domination should be strict when warnings occur: %.1f vs %.1f",
+			rep.MeanRetryAttacker, rep.MeanSingleShotAttacker)
+	}
+	// The auditor profits from retries (forensic catches pay U_dc).
+	if rep.MeanRetryAuditor <= -400 {
+		t.Fatalf("auditor mean %.1f implausible", rep.MeanRetryAuditor)
+	}
+}
+
+func TestRunRetryValidation(t *testing.T) {
+	inst, day, curves := fixture(t, 10, 2)
+	base := Config{Instance: inst, Budget: 2, Day: day, Curves: curves, Strategy: UniformAttacker{}, Trials: 1}
+	bad := base
+	bad.Curves = nil
+	if _, err := RunRetry(bad); err == nil {
+		t.Error("nil curves should be rejected")
+	}
+	bad = base
+	bad.Trials = -1
+	if _, err := RunRetry(bad); err == nil {
+		t.Error("negative trials should be rejected")
+	}
+}
+
+func TestTimeOfDayHelper(t *testing.T) {
+	if timeOfDay(1.5).Minutes() != 90 {
+		t.Fatal("timeOfDay(1.5) should be 90 minutes")
+	}
+}

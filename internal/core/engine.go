@@ -1,0 +1,445 @@
+// Package core implements the paper's primary contribution: the online
+// Signaling Audit Game engine.
+//
+// The engine processes a stream of triggered alerts within one audit cycle.
+// For each alert it runs the full SAG pipeline in real time:
+//
+//  1. estimate the Poisson-distributed number of future alerts per type
+//     (pluggable Estimator; production code uses internal/history, which
+//     also implements the paper's "knowledge rollback" trick),
+//  2. solve the online SSE (LP (2), internal/game) for the remaining budget
+//     to obtain the marginal audit probabilities θ,
+//  3. plug θ of the alert's type into the optimal signaling program (LP (3),
+//     internal/signaling) to obtain the OSSP joint warn/audit scheme,
+//  4. sample the signal (warn or stay silent) and charge the remaining
+//     budget with the signal-conditional audit probability × audit cost,
+//
+// and records everything in a Decision for downstream evaluation. A
+// non-signaling mode (PolicySSE) reproduces the paper's "online SSE"
+// baseline under identical budget dynamics.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/auditgames/sag/internal/dist"
+	"github.com/auditgames/sag/internal/game"
+	"github.com/auditgames/sag/internal/signaling"
+)
+
+// Alert is one triggered alert as seen by the engine: its type (index into
+// the game instance) and its arrival offset within the audit cycle.
+type Alert struct {
+	Type int
+	Time time.Duration
+}
+
+// Estimator supplies the engine's belief about future alert volumes: the
+// expected number of alerts of each type arriving strictly after the given
+// cycle offset. Implementations may incorporate the paper's knowledge
+// rollback; the engine treats the returned rates as Poisson means (§3.1).
+type Estimator interface {
+	FutureRates(at time.Duration) ([]float64, error)
+}
+
+// EstimatorFunc adapts a plain function to the Estimator interface.
+type EstimatorFunc func(at time.Duration) ([]float64, error)
+
+// FutureRates implements Estimator.
+func (f EstimatorFunc) FutureRates(at time.Duration) ([]float64, error) { return f(at) }
+
+// Policy selects the engine's auditing policy.
+type Policy int
+
+const (
+	// PolicyOSSP is the paper's contribution: optimal online signaling on
+	// top of the online SSE marginals.
+	PolicyOSSP Policy = iota
+	// PolicySSE is the non-signaling baseline: commit to the online SSE
+	// marginal audit probability for each alert.
+	PolicySSE
+)
+
+// String returns a human-readable policy name.
+func (p Policy) String() string {
+	switch p {
+	case PolicyOSSP:
+		return "OSSP"
+	case PolicySSE:
+		return "online-SSE"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Config assembles an Engine.
+type Config struct {
+	// Instance is the audit game (payoffs + audit costs per type).
+	Instance *game.Instance
+	// Budget is the total audit budget for the cycle.
+	Budget float64
+	// Estimator supplies future alert volumes; required.
+	Estimator Estimator
+	// Policy selects OSSP (default) or the SSE baseline.
+	Policy Policy
+	// Rand drives signal sampling. Required for PolicyOSSP so runs are
+	// reproducible; the engine never falls back to global randomness.
+	Rand *rand.Rand
+	// UseLPSignaling forces the general LP (3) solver even when the closed
+	// form applies; used by the ablation benches and as a cross-check.
+	UseLPSignaling bool
+	// AttackerTypes, when non-empty, switches the signaling stage to the
+	// Bayesian SAG: the attacker's covered/uncovered utilities are private,
+	// drawn from this prior (see signaling.SolveBayesian). The Stackelberg
+	// marginals θ are still computed from the instance's nominal payoffs —
+	// the commitment the paper's LP (2) produces — with the Bayesian layer
+	// optimizing the warn/audit split per alert against the prior.
+	AttackerTypes []signaling.AttackerType
+}
+
+// Decision records everything the engine did for one alert.
+type Decision struct {
+	Alert        Alert
+	BudgetBefore float64
+	BudgetAfter  float64
+
+	// SSE is the online Stackelberg equilibrium solved at this alert.
+	SSE *game.Result
+	// Theta is the marginal audit probability of this alert's own type
+	// under the SSE commitment (θ^t_SSE = θ^t_SAG by Theorem 1).
+	Theta float64
+
+	// Scheme is the OSSP joint distribution (zero value under PolicySSE).
+	Scheme signaling.Scheme
+	// Warned reports whether the sampled signal was the warning ξ1
+	// (always false under PolicySSE, which never warns).
+	Warned bool
+	// AuditCharge is the signal-conditional audit probability charged
+	// against the budget (times the type's audit cost).
+	AuditCharge float64
+
+	// SSEUtility is the auditor's expected utility for this alert without
+	// signaling. It is the optimal objective of LP (2) whenever the
+	// attacker participates; when the SSE coverage alone already deters the
+	// attack (his best-response utility is negative) it is 0, following the
+	// participation accounting of the paper's Theorem 2 proof. In the
+	// paper's evaluation regime (thin coverage, attacker utility positive)
+	// the two notions coincide.
+	SSEUtility float64
+	// OSSPUtility is the auditor's expected utility with signaling — the
+	// optimal objective of LP (3) when the SAG applies to this alert, and
+	// SSEUtility otherwise (the paper's multi-type comparison protocol).
+	OSSPUtility float64
+	// AppliedSAG reports whether this alert's type was the attacker's
+	// best-response type, i.e. whether the signaling scheme was actually
+	// engaged for this alert.
+	AppliedSAG bool
+	// Vacuous reports that no type was attackable (all estimated future
+	// rates zero), making the game degenerate for this alert.
+	Vacuous bool
+}
+
+// Engine executes one audit cycle online. It is not safe for concurrent
+// use; run one Engine per goroutine.
+type Engine struct {
+	inst      *game.Instance
+	est       Estimator
+	policy    Policy
+	rng       *rand.Rand
+	useLP     bool
+	bayes     []signaling.AttackerType
+	budget    float64
+	initial   float64
+	decisions []Decision
+}
+
+// NewEngine validates cfg and returns a ready Engine.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Instance == nil {
+		return nil, errors.New("core: Config.Instance is required")
+	}
+	if cfg.Estimator == nil {
+		return nil, errors.New("core: Config.Estimator is required")
+	}
+	if cfg.Budget < 0 || math.IsNaN(cfg.Budget) || math.IsInf(cfg.Budget, 0) {
+		return nil, fmt.Errorf("core: invalid budget %g", cfg.Budget)
+	}
+	if cfg.Policy != PolicyOSSP && cfg.Policy != PolicySSE {
+		return nil, fmt.Errorf("core: unknown policy %d", cfg.Policy)
+	}
+	if cfg.Policy == PolicyOSSP && cfg.Rand == nil {
+		return nil, errors.New("core: Config.Rand is required for PolicyOSSP (signal sampling)")
+	}
+	return &Engine{
+		inst:    cfg.Instance,
+		est:     cfg.Estimator,
+		policy:  cfg.Policy,
+		rng:     cfg.Rand,
+		useLP:   cfg.UseLPSignaling,
+		bayes:   append([]signaling.AttackerType(nil), cfg.AttackerTypes...),
+		budget:  cfg.Budget,
+		initial: cfg.Budget,
+	}, nil
+}
+
+// RemainingBudget returns the budget left for the rest of the cycle.
+func (e *Engine) RemainingBudget() float64 { return e.budget }
+
+// NewCycle resets the engine for the next audit cycle: the budget is
+// restored to the given value, recorded decisions are cleared, and any
+// rollback state in the estimator is reset (when the estimator exposes a
+// Reset method). The game instance, estimator, policy, and RNG stream are
+// kept, so one Engine can process a whole sequence of audit days.
+func (e *Engine) NewCycle(budget float64) error {
+	if budget < 0 || math.IsNaN(budget) || math.IsInf(budget, 0) {
+		return fmt.Errorf("core: invalid budget %g", budget)
+	}
+	e.budget = budget
+	e.initial = budget
+	e.decisions = e.decisions[:0]
+	if r, ok := e.est.(interface{ Reset() }); ok {
+		r.Reset()
+	}
+	return nil
+}
+
+// InitialBudget returns the budget the cycle started with.
+func (e *Engine) InitialBudget() float64 { return e.initial }
+
+// Decisions returns the decisions recorded so far, in arrival order. The
+// returned slice is owned by the engine; callers must not mutate it.
+func (e *Engine) Decisions() []Decision { return e.decisions }
+
+// Process handles one arriving alert: solves the games, samples the signal
+// (under PolicyOSSP), charges the budget, and appends + returns the
+// Decision.
+func (e *Engine) Process(a Alert) (*Decision, error) {
+	d, err := e.decide(a)
+	if err != nil {
+		return nil, err
+	}
+	// Commit: sample the signal and charge the budget.
+	V := e.inst.AuditCosts[a.Type]
+	switch e.policy {
+	case PolicyOSSP:
+		warnProb := d.Scheme.WarnProbability()
+		d.Warned = e.rng.Float64() < warnProb
+		if d.Warned {
+			d.AuditCharge = d.Scheme.AuditGivenWarn()
+		} else {
+			d.AuditCharge = d.Scheme.AuditGivenSilent()
+		}
+	case PolicySSE:
+		d.AuditCharge = d.Theta
+	}
+	d.BudgetAfter = math.Max(0, e.budget-d.AuditCharge*V)
+	e.budget = d.BudgetAfter
+	e.decisions = append(e.decisions, *d)
+	return &e.decisions[len(e.decisions)-1], nil
+}
+
+// Preview computes the decision the engine would take for a hypothetical
+// alert without sampling a signal or mutating any state. Used by the
+// adaptive-attacker example and by tests.
+func (e *Engine) Preview(a Alert) (*Decision, error) {
+	return e.decide(a)
+}
+
+// decide runs the SSE + OSSP pipeline without committing state.
+func (e *Engine) decide(a Alert) (*Decision, error) {
+	if a.Type < 0 || a.Type >= e.inst.NumTypes() {
+		return nil, fmt.Errorf("core: alert type %d out of range [0,%d)", a.Type, e.inst.NumTypes())
+	}
+	rates, err := e.est.FutureRates(a.Time)
+	if err != nil {
+		return nil, fmt.Errorf("core: estimating future alerts: %w", err)
+	}
+	if len(rates) != e.inst.NumTypes() {
+		return nil, fmt.Errorf("core: estimator returned %d rates for %d types", len(rates), e.inst.NumTypes())
+	}
+	futures := make([]dist.Poisson, len(rates))
+	for i, r := range rates {
+		p, err := dist.NewPoisson(r)
+		if err != nil {
+			return nil, fmt.Errorf("core: type %d: %w", i, err)
+		}
+		futures[i] = p
+	}
+
+	sse, err := game.SolveOnlineSSE(e.inst, e.budget, futures)
+	if err != nil {
+		return nil, fmt.Errorf("core: online SSE: %w", err)
+	}
+
+	d := &Decision{
+		Alert:        a,
+		BudgetBefore: e.budget,
+		BudgetAfter:  e.budget,
+		SSE:          sse,
+	}
+	if sse.BestType == -1 {
+		// Degenerate game: nothing is attackable. Utilities are zero and no
+		// budget should be spent.
+		d.Vacuous = true
+		return d, nil
+	}
+	d.Theta = sse.Coverage[a.Type]
+	d.SSEUtility = participationAwareUtility(sse)
+	d.AppliedSAG = a.Type == sse.BestType
+
+	if e.policy == PolicySSE {
+		d.OSSPUtility = d.SSEUtility
+		return d, nil
+	}
+
+	pf := e.inst.Payoffs[a.Type]
+	var scheme signaling.Scheme
+	switch {
+	case len(e.bayes) > 0:
+		b, berr := signaling.SolveBayesian(signaling.DefenderSide{
+			Covered:   pf.DefenderCovered,
+			Uncovered: pf.DefenderUncovered,
+		}, e.bayes, d.Theta)
+		if berr != nil {
+			return nil, fmt.Errorf("core: Bayesian OSSP: %w", berr)
+		}
+		scheme = bayesianToScheme(b, e.bayes)
+	case e.useLP || !pf.SatisfiesTheorem3():
+		scheme, err = signaling.SolveLP(pf, d.Theta)
+	default:
+		scheme, err = signaling.Solve(pf, d.Theta)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: OSSP: %w", err)
+	}
+	d.Scheme = scheme
+	if d.AppliedSAG {
+		d.OSSPUtility = scheme.DefenderUtility
+	} else {
+		// The paper's multi-type protocol: the SAG engages only alerts of
+		// the attacker's best-response type; others are handled (and
+		// scored) by the online SSE.
+		d.OSSPUtility = d.SSEUtility
+	}
+	return d, nil
+}
+
+// bayesianToScheme reduces a BayesianScheme to the engine's Scheme record:
+// the joint distribution carries over; the attacker utility is the
+// prior-weighted mean; Deterred means every type stays out.
+func bayesianToScheme(b signaling.BayesianScheme, types []signaling.AttackerType) signaling.Scheme {
+	s := signaling.Scheme{
+		P1: b.P1, Q1: b.Q1, P0: b.P0, Q0: b.Q0,
+		DefenderUtility: b.DefenderUtility,
+		Deterred:        true,
+	}
+	for k, t := range types {
+		if b.Participates[k] {
+			s.Deterred = false
+			s.AttackerUtility += t.Prior * b.TypeUtilities[k]
+		}
+	}
+	return s
+}
+
+// participationAwareUtility converts the LP (2) objective into the
+// auditor's actual expected utility, accounting for the attacker's option
+// to stay out: a strictly unprofitable best response means no attack (both
+// sides get 0); exact indifference breaks in the auditor's favor per the
+// strong-SSE convention.
+func participationAwareUtility(sse *game.Result) float64 {
+	const tol = 1e-9
+	switch {
+	case sse.AttackerUtility < -tol:
+		return 0
+	case sse.AttackerUtility <= tol:
+		return math.Max(0, sse.DefenderUtility)
+	default:
+		return sse.DefenderUtility
+	}
+}
+
+// AuditOutcome is the end-of-cycle retrospective decision for one
+// processed alert.
+type AuditOutcome struct {
+	// Index is the position of the alert in Decisions().
+	Index int
+	// Audited reports whether the retrospective audit actually inspects
+	// this alert.
+	Audited bool
+	// Cost is the audit cost charged if Audited (the type's V), 0
+	// otherwise.
+	Cost float64
+}
+
+// CloseCycle samples the retrospective audit decisions at the end of the
+// cycle: each alert is audited with its signal-conditional audit
+// probability (the probability the budget was charged for in real time).
+// It returns one outcome per recorded decision plus the realized total
+// audit cost. The realized cost concentrates around the charged budget but
+// is not capped by it — the paper's budget dynamics are in expectation;
+// callers that need a hard cap can truncate the returned plan.
+//
+// CloseCycle does not mutate engine state and may be called repeatedly
+// with different rngs to draw independent audit plans.
+func (e *Engine) CloseCycle(rng *rand.Rand) ([]AuditOutcome, float64) {
+	outcomes := make([]AuditOutcome, len(e.decisions))
+	total := 0.0
+	for i, d := range e.decisions {
+		outcomes[i] = AuditOutcome{Index: i}
+		if d.Vacuous {
+			continue
+		}
+		if rng.Float64() < d.AuditCharge {
+			cost := e.inst.AuditCosts[d.Alert.Type]
+			outcomes[i].Audited = true
+			outcomes[i].Cost = cost
+			total += cost
+		}
+	}
+	return outcomes, total
+}
+
+// CycleSummary aggregates a finished cycle for reporting.
+type CycleSummary struct {
+	Alerts         int
+	Warnings       int
+	SAGEngaged     int     // alerts where the OSSP actually applied
+	BudgetSpent    float64 // initial − remaining
+	MeanSSEUtility float64
+	MeanOSSPUtilty float64
+	FinalSSE       float64 // utility at the last alert (end-of-day health)
+	FinalOSSP      float64
+}
+
+// Summary aggregates the decisions recorded so far.
+func (e *Engine) Summary() CycleSummary {
+	s := CycleSummary{
+		Alerts:      len(e.decisions),
+		BudgetSpent: e.initial - e.budget,
+	}
+	if s.Alerts == 0 {
+		return s
+	}
+	var sse, ossp dist.Running
+	for _, d := range e.decisions {
+		if d.Warned {
+			s.Warnings++
+		}
+		if d.AppliedSAG {
+			s.SAGEngaged++
+		}
+		sse.Add(d.SSEUtility)
+		ossp.Add(d.OSSPUtility)
+	}
+	last := e.decisions[len(e.decisions)-1]
+	s.MeanSSEUtility = sse.Mean()
+	s.MeanOSSPUtilty = ossp.Mean()
+	s.FinalSSE = last.SSEUtility
+	s.FinalOSSP = last.OSSPUtility
+	return s
+}

@@ -1,0 +1,124 @@
+package dataio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/auditgames/sag/internal/sim"
+)
+
+func sample() *sim.Dataset {
+	return &sim.Dataset{
+		NumTypes: 2,
+		TypeIDs:  []int{1, 3},
+		Days: [][]sim.TimedAlert{
+			{
+				{Type: 0, Time: 8 * time.Hour},
+				{Type: 1, Time: 9*time.Hour + 30*time.Minute},
+				{Type: 0, Time: 15 * time.Hour},
+			},
+			{
+				{Type: 1, Time: 7 * time.Hour},
+			},
+			{}, // an empty day is legal
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	ds := sample()
+	var buf bytes.Buffer
+	if err := Write(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumTypes != ds.NumTypes || len(got.TypeIDs) != len(ds.TypeIDs) {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for i := range ds.TypeIDs {
+		if got.TypeIDs[i] != ds.TypeIDs[i] {
+			t.Fatal("type IDs mismatch")
+		}
+	}
+	if got.NumDays() != ds.NumDays() {
+		t.Fatalf("days %d, want %d", got.NumDays(), ds.NumDays())
+	}
+	for d := range ds.Days {
+		if len(got.Days[d]) != len(ds.Days[d]) {
+			t.Fatalf("day %d length mismatch", d)
+		}
+		for i := range ds.Days[d] {
+			if got.Days[d][i].Type != ds.Days[d][i].Type {
+				t.Fatalf("day %d alert %d type mismatch", d, i)
+			}
+			if diff := got.Days[d][i].Time - ds.Days[d][i].Time; diff > time.Millisecond || diff < -time.Millisecond {
+				t.Fatalf("day %d alert %d time drift %v", d, i, diff)
+			}
+		}
+	}
+}
+
+func TestWriteNil(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); err == nil {
+		t.Fatal("nil dataset should be rejected")
+	}
+}
+
+func TestReadRejectsCorruptInputs(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"garbage", "not json"},
+		{"wrong version", `{"version":99,"num_types":1,"type_ids":[1],"days":[]}`},
+		{"zero types", `{"version":1,"num_types":0,"type_ids":[],"days":[]}`},
+		{"id count mismatch", `{"version":1,"num_types":2,"type_ids":[1],"days":[]}`},
+		{"duplicate ids", `{"version":1,"num_types":2,"type_ids":[1,1],"days":[]}`},
+		{"type out of range", `{"version":1,"num_types":1,"type_ids":[1],"days":[{"alerts":[{"type":5,"time_sec":10}]}]}`},
+		{"negative time", `{"version":1,"num_types":1,"type_ids":[1],"days":[{"alerts":[{"type":0,"time_sec":-1}]}]}`},
+		{"time past midnight", `{"version":1,"num_types":1,"type_ids":[1],"days":[{"alerts":[{"type":0,"time_sec":90000}]}]}`},
+		{"unsorted", `{"version":1,"num_types":1,"type_ids":[1],"days":[{"alerts":[{"type":0,"time_sec":100},{"type":0,"time_sec":50}]}]}`},
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestRoundTripGeneratedDataset(t *testing.T) {
+	ds, err := sim.BuildTable1Pipeline(sim.PipelineConfig{
+		Seed: 4, Days: 4, BackgroundPerDay: 20, PairsPerKind: 10,
+		WorldEmployees: 10, WorldPatients: 40,
+	}, sim.AllTable1TypeIDs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumDays() != ds.NumDays() || got.NumTypes != ds.NumTypes {
+		t.Fatal("generated round trip lost shape")
+	}
+	total := func(d *sim.Dataset) int {
+		n := 0
+		for _, day := range d.Days {
+			n += len(day)
+		}
+		return n
+	}
+	if total(got) != total(ds) {
+		t.Fatalf("alert count %d, want %d", total(got), total(ds))
+	}
+}

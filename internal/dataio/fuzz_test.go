@@ -1,0 +1,46 @@
+package dataio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead hardens the dataset reader against hostile input: whatever the
+// bytes, Read must either return a structurally valid dataset or an error —
+// never panic, never return a dataset that violates its own invariants.
+func FuzzRead(f *testing.F) {
+	// Seed with a valid file and several near-misses.
+	var buf bytes.Buffer
+	if err := Write(&buf, sample()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"version":1,"num_types":1,"type_ids":[1],"days":[]}`))
+	f.Add([]byte(`{"version":1,"num_types":2,"type_ids":[1,2],"days":[{"alerts":[{"type":1,"time_sec":3.5}]}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"version":1,"num_types":1000000,"type_ids":[],"days":[]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ds, err := Read(strings.NewReader(string(data)))
+		if err != nil {
+			return
+		}
+		// Whatever parsed must satisfy the invariants Read promises.
+		if ds.NumTypes <= 0 || len(ds.TypeIDs) != ds.NumTypes {
+			t.Fatalf("invalid dataset accepted: %+v", ds)
+		}
+		for d, day := range ds.Days {
+			for i, a := range day {
+				if a.Type < 0 || a.Type >= ds.NumTypes {
+					t.Fatalf("day %d alert %d: bad type %d", d, i, a.Type)
+				}
+				if i > 0 && day[i].Time < day[i-1].Time {
+					t.Fatalf("day %d: unsorted alerts accepted", d)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,121 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Normal is a normal distribution used by the synthetic workload generator
+// to reproduce the per-type daily volume spread reported in Table 1.
+type Normal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// NewNormal returns a Normal with the given mean and standard deviation.
+// Sigma must be nonnegative and both parameters finite.
+func NewNormal(mu, sigma float64) (Normal, error) {
+	if math.IsNaN(mu) || math.IsInf(mu, 0) || math.IsNaN(sigma) || math.IsInf(sigma, 0) || sigma < 0 {
+		return Normal{}, fmt.Errorf("dist: invalid normal parameters mu=%g sigma=%g", mu, sigma)
+	}
+	return Normal{Mu: mu, Sigma: sigma}, nil
+}
+
+// Sample draws one variate.
+func (n Normal) Sample(rng *rand.Rand) float64 {
+	return n.Mu + n.Sigma*rng.NormFloat64()
+}
+
+// SamplePositive draws variates until one is > 0, with a deterministic
+// fallback to Mu after 64 rejections (only reachable with Mu ≤ 0, which the
+// calibrated workloads never use). The generator needs strictly positive
+// daily volumes.
+func (n Normal) SamplePositive(rng *rand.Rand) float64 {
+	for i := 0; i < 64; i++ {
+		if v := n.Sample(rng); v > 0 {
+			return v
+		}
+	}
+	return math.Max(n.Mu, 1)
+}
+
+// Running accumulates a stream of observations and reports count, mean, and
+// (sample) standard deviation using Welford's online algorithm. The zero
+// value is ready to use. It is the workhorse behind the Table 1
+// reproduction and the experiment reports.
+type Running struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (r *Running) Add(x float64) {
+	r.n++
+	if r.n == 1 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	delta := x - r.mean
+	r.mean += delta / float64(r.n)
+	r.m2 += delta * (x - r.mean)
+}
+
+// N returns the number of observations.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the sample mean (0 for an empty accumulator).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Std returns the sample standard deviation (n-1 denominator; 0 when fewer
+// than two observations have been added).
+func (r *Running) Std() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return math.Sqrt(r.m2 / float64(r.n-1))
+}
+
+// Min returns the smallest observation (0 for an empty accumulator).
+func (r *Running) Min() float64 { return r.min }
+
+// Max returns the largest observation (0 for an empty accumulator).
+func (r *Running) Max() float64 { return r.max }
+
+// Merge combines another accumulator into r (parallel Welford merge), so
+// per-day statistics can be aggregated across simulation shards.
+func (r *Running) Merge(o Running) {
+	if o.n == 0 {
+		return
+	}
+	if r.n == 0 {
+		*r = o
+		return
+	}
+	n := r.n + o.n
+	delta := o.mean - r.mean
+	mean := r.mean + delta*float64(o.n)/float64(n)
+	m2 := r.m2 + o.m2 + delta*delta*float64(r.n)*float64(o.n)/float64(n)
+	minV := math.Min(r.min, o.min)
+	maxV := math.Max(r.max, o.max)
+	*r = Running{n: n, mean: mean, m2: m2, min: minV, max: maxV}
+}
+
+// MeanStd is a convenience that returns the mean and sample standard
+// deviation of xs (0,0 for empty input).
+func MeanStd(xs []float64) (mean, std float64) {
+	var r Running
+	for _, x := range xs {
+		r.Add(x)
+	}
+	return r.Mean(), r.Std()
+}

@@ -1,0 +1,201 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningBasics(t *testing.T) {
+	var r Running
+	if r.N() != 0 || r.Mean() != 0 || r.Std() != 0 {
+		t.Fatal("zero-value Running should report zeros")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if r.N() != 8 {
+		t.Fatalf("N = %d, want 8", r.N())
+	}
+	if math.Abs(r.Mean()-5) > 1e-12 {
+		t.Fatalf("Mean = %g, want 5", r.Mean())
+	}
+	// Sample std of that classic dataset: sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(r.Std()-want) > 1e-12 {
+		t.Fatalf("Std = %g, want %g", r.Std(), want)
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Fatalf("Min/Max = %g/%g, want 2/9", r.Min(), r.Max())
+	}
+}
+
+func TestRunningSingleObservation(t *testing.T) {
+	var r Running
+	r.Add(3.5)
+	if r.Std() != 0 {
+		t.Error("Std with one observation should be 0")
+	}
+	if r.Min() != 3.5 || r.Max() != 3.5 {
+		t.Error("Min/Max with one observation should equal it")
+	}
+}
+
+func TestRunningMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 1
+	}
+	var whole Running
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	var a, b Running
+	for i, x := range xs {
+		if i < 400 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	if a.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), whole.N())
+	}
+	if math.Abs(a.Mean()-whole.Mean()) > 1e-10 {
+		t.Fatalf("merged mean = %g, want %g", a.Mean(), whole.Mean())
+	}
+	if math.Abs(a.Std()-whole.Std()) > 1e-10 {
+		t.Fatalf("merged std = %g, want %g", a.Std(), whole.Std())
+	}
+	if a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Fatal("merged min/max disagree")
+	}
+}
+
+func TestRunningMergeEmptyCases(t *testing.T) {
+	var a, b Running
+	a.Add(1)
+	a.Add(3)
+	before := a
+	a.Merge(b) // merging empty is a no-op
+	if a != before {
+		t.Error("merging an empty accumulator changed the receiver")
+	}
+	var c Running
+	c.Merge(a) // merging into empty copies
+	if c != a {
+		t.Error("merging into an empty accumulator should copy")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	mean, std := MeanStd([]float64{1, 2, 3})
+	if mean != 2 || math.Abs(std-1) > 1e-12 {
+		t.Fatalf("MeanStd = %g, %g; want 2, 1", mean, std)
+	}
+	mean, std = MeanStd(nil)
+	if mean != 0 || std != 0 {
+		t.Fatal("MeanStd(nil) should be 0,0")
+	}
+}
+
+func TestNormalValidationAndSampling(t *testing.T) {
+	if _, err := NewNormal(0, -1); err == nil {
+		t.Error("negative sigma should be rejected")
+	}
+	if _, err := NewNormal(math.NaN(), 1); err == nil {
+		t.Error("NaN mu should be rejected")
+	}
+	n, err := NewNormal(10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	var r Running
+	for i := 0; i < 20000; i++ {
+		r.Add(n.Sample(rng))
+	}
+	if math.Abs(r.Mean()-10) > 0.1 {
+		t.Errorf("sample mean %g, want ≈10", r.Mean())
+	}
+	if math.Abs(r.Std()-2) > 0.1 {
+		t.Errorf("sample std %g, want ≈2", r.Std())
+	}
+}
+
+func TestSamplePositive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := Normal{Mu: 0.5, Sigma: 5} // frequently negative draws
+	for i := 0; i < 1000; i++ {
+		if v := n.SamplePositive(rng); v <= 0 {
+			t.Fatalf("SamplePositive returned %g", v)
+		}
+	}
+	// Degenerate distribution that can never be positive exercises the
+	// fallback path.
+	d := Normal{Mu: -3, Sigma: 0}
+	if v := d.SamplePositive(rng); v != 1 {
+		t.Fatalf("fallback = %g, want max(mu,1)=1", v)
+	}
+}
+
+func TestQuickRunningMeanWithinMinMax(t *testing.T) {
+	prop := func(xs []float64) bool {
+		var r Running
+		n := 0
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			x = math.Mod(x, 1e6)
+			r.Add(x)
+			n++
+		}
+		if n == 0 {
+			return true
+		}
+		return r.Mean() >= r.Min()-1e-9 && r.Mean() <= r.Max()+1e-9 && r.Std() >= 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMergeCommutesWithConcat(t *testing.T) {
+	prop := func(as, bs []float64) bool {
+		clean := func(xs []float64) []float64 {
+			out := xs[:0:0]
+			for _, x := range xs {
+				if !math.IsNaN(x) && !math.IsInf(x, 0) {
+					out = append(out, math.Mod(x, 1e5))
+				}
+			}
+			return out
+		}
+		as, bs = clean(as), clean(bs)
+		var a, b, whole Running
+		for _, x := range as {
+			a.Add(x)
+			whole.Add(x)
+		}
+		for _, x := range bs {
+			b.Add(x)
+			whole.Add(x)
+		}
+		a.Merge(b)
+		if a.N() != whole.N() {
+			return false
+		}
+		if a.N() == 0 {
+			return true
+		}
+		tol := 1e-7 * (1 + math.Abs(whole.Mean()))
+		return math.Abs(a.Mean()-whole.Mean()) < tol && math.Abs(a.Std()-whole.Std()) < 1e-6*(1+whole.Std())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

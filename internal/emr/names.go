@@ -1,0 +1,35 @@
+package emr
+
+// firstNames is a small pool of given names for flavor; first names carry
+// no detection semantics (only surnames, departments, and addresses do).
+var firstNames = []string{
+	"Alice", "Amir", "Ana", "Andre", "Asha", "Ben", "Bianca", "Carlos",
+	"Chen", "Dana", "Dmitri", "Elena", "Emeka", "Fatima", "Gabriel",
+	"Hana", "Ibrahim", "Ines", "Jamal", "Jin", "Kofi", "Leila", "Luca",
+	"Maria", "Mateo", "Mei", "Nadia", "Noah", "Olga", "Omar", "Priya",
+	"Quinn", "Rafael", "Rosa", "Sam", "Sofia", "Tariq", "Uma", "Victor",
+	"Wei", "Ximena", "Yusuf", "Zara",
+}
+
+// familyNames is the surname pool used for *planted* relationships (pairs
+// that must share a surname). Background people get synthetic unique
+// surnames instead, so every same-last-name alert in the stream is planted
+// and the calibration to Table 1 stays exact.
+var familyNames = []string{
+	"Abbott", "Alvarez", "Anand", "Baker", "Bauer", "Bennett", "Bishop",
+	"Blake", "Bauman", "Carson", "Castillo", "Chang", "Clarke", "Cohen",
+	"Cruz", "Dalton", "Desai", "Diaz", "Dubois", "Ellis", "Farrell",
+	"Fischer", "Flores", "Foster", "Fujita", "Garcia", "Gibson", "Gomez",
+	"Grant", "Gruber", "Gupta", "Hansen", "Harper", "Hayashi", "Herrera",
+	"Hoffman", "Hughes", "Ivanov", "Jacobs", "Jensen", "Johansson",
+	"Kapoor", "Keller", "Kim", "Kowalski", "Kumar", "Larsen", "Lee",
+	"Lehmann", "Lopez", "Ma", "Marino", "Martin", "Mendez", "Meyer",
+	"Moreau", "Morgan", "Murphy", "Nakamura", "Nguyen", "Novak",
+	"O'Brien", "Okafor", "Olsen", "Ortiz", "Osman", "Park", "Patel",
+	"Pereira", "Petrov", "Popov", "Quintero", "Ramirez", "Reyes",
+	"Richter", "Rivera", "Romano", "Rossi", "Ruiz", "Santos", "Sato",
+	"Schmidt", "Schneider", "Sharma", "Silva", "Singh", "Sokolov",
+	"Suzuki", "Takahashi", "Tanaka", "Torres", "Tran", "Vargas", "Vega",
+	"Wagner", "Walsh", "Wang", "Weber", "Weiss", "Wong", "Yamamoto",
+	"Yang", "Yilmaz", "Zhang", "Zhao", "Zimmermann",
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+)
+
+// RenderASCII draws one test day's utility series as a terminal chart —
+// the poor man's Figure 2 panel. Three series share the canvas:
+//
+//	●  OSSP          (per-alert, bucketed by time)
+//	o  online SSE
+//	─  offline SSE   (constant)
+//
+// width and height are the plot area in characters (sensible minimums are
+// enforced). Buckets with no alerts are left blank, matching the paper's
+// scatter-like panels.
+func (d *DaySeries) RenderASCII(w io.Writer, width, height int) {
+	if width < 24 {
+		width = 24
+	}
+	if height < 8 {
+		height = 8
+	}
+	if len(d.Points) == 0 {
+		fmt.Fprintln(w, "(no alerts)")
+		return
+	}
+
+	// Bucket the series over the day.
+	type bucket struct {
+		n          int
+		ossp, ssev float64
+	}
+	buckets := make([]bucket, width)
+	perBucket := 24 * time.Hour / time.Duration(width)
+	for _, p := range d.Points {
+		b := int(p.Time / perBucket)
+		if b < 0 {
+			b = 0
+		}
+		if b >= width {
+			b = width - 1
+		}
+		buckets[b].n++
+		buckets[b].ossp += p.OSSP
+		buckets[b].ssev += p.OnlineSSE
+	}
+
+	// Value range across everything drawn.
+	lo, hi := d.OfflineSSE, d.OfflineSSE
+	for _, b := range buckets {
+		if b.n == 0 {
+			continue
+		}
+		for _, v := range []float64{b.ossp / float64(b.n), b.ssev / float64(b.n)} {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if hi-lo < 1e-9 {
+		hi = lo + 1
+	}
+	row := func(v float64) int {
+		frac := (v - lo) / (hi - lo)
+		r := int(math.Round(frac * float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r > height-1 {
+			r = height - 1
+		}
+		return height - 1 - r // row 0 is the top
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	offRow := row(d.OfflineSSE)
+	for x := 0; x < width; x++ {
+		grid[offRow][x] = '-'
+	}
+	for x, b := range buckets {
+		if b.n == 0 {
+			continue
+		}
+		grid[row(b.ssev/float64(b.n))][x] = 'o'
+		grid[row(b.ossp/float64(b.n))][x] = '*' // drawn last: OSSP wins collisions
+	}
+
+	fmt.Fprintf(w, "%10.1f ┤\n", hi)
+	for _, line := range grid {
+		fmt.Fprintf(w, "%10s │%s\n", "", line)
+	}
+	fmt.Fprintf(w, "%10.1f ┤%s\n", lo, strings.Repeat("─", width))
+	fmt.Fprintf(w, "%10s  00:00%s23:59\n", "", strings.Repeat(" ", width-11))
+	fmt.Fprintf(w, "%10s  legend: * OSSP   o online SSE   - offline SSE\n", "")
+}

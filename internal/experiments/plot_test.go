@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/auditgames/sag/internal/sim"
+)
+
+func TestRenderASCIIBasic(t *testing.T) {
+	d := DaySeries{
+		OfflineSSE: -350,
+		Points: []SeriesPoint{
+			{Time: 8 * time.Hour, OSSP: -150, OnlineSSE: -345},
+			{Time: 12 * time.Hour, OSSP: -160, OnlineSSE: -350},
+			{Time: 20 * time.Hour, OSSP: -300, OnlineSSE: -390},
+		},
+	}
+	var buf bytes.Buffer
+	d.RenderASCII(&buf, 60, 12)
+	out := buf.String()
+	for _, want := range []string{"*", "o", "-", "legend", "00:00", "23:59"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q", want)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Top label + height rows + bottom axis + time axis + legend.
+	if len(lines) != 1+12+1+1+1 {
+		t.Fatalf("plot has %d lines", len(lines))
+	}
+}
+
+func TestRenderASCIIEmptyAndDegenerate(t *testing.T) {
+	var buf bytes.Buffer
+	(&DaySeries{}).RenderASCII(&buf, 40, 10)
+	if !strings.Contains(buf.String(), "no alerts") {
+		t.Error("empty series should say so")
+	}
+	// All values identical: the range guard must avoid division by zero.
+	buf.Reset()
+	d := DaySeries{
+		OfflineSSE: -100,
+		Points:     []SeriesPoint{{Time: time.Hour, OSSP: -100, OnlineSSE: -100}},
+	}
+	d.RenderASCII(&buf, 5, 3) // also exercises the minimum-size clamps
+	if buf.Len() == 0 {
+		t.Error("degenerate series should still render")
+	}
+}
+
+func TestRenderASCIIFullPipeline(t *testing.T) {
+	rep, err := Figure2(testScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	rep.Days[0].RenderASCII(&buf, 72, 16)
+	out := buf.String()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("pipeline plot should contain both series")
+	}
+	_ = sim.Groups // keep the import honest if test helpers change
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// RunAll executes every experiment at the given scale and renders a full
+// report to w — the content EXPERIMENTS.md is built from and what
+// `sagbench -all` prints.
+func RunAll(w io.Writer, scale Scale) error {
+	fmt.Fprintf(w, "=== SAG experiment suite (days=%d, history=%d, seed=%d) ===\n\n",
+		scale.Days, scale.HistoryDays, scale.Seed)
+
+	t1, err := Table1(scale)
+	if err != nil {
+		return fmt.Errorf("table1: %w", err)
+	}
+	t1.Render(w)
+	fmt.Fprintln(w)
+
+	Table2().Render(w)
+	fmt.Fprintln(w)
+
+	f2, err := Figure2(scale)
+	if err != nil {
+		return fmt.Errorf("figure2: %w", err)
+	}
+	f2.Render(w)
+	fmt.Fprintln(w)
+	renderCheckList(w, "Figure 2 shape", f2.ShapeChecks())
+	fmt.Fprintln(w)
+
+	f3, err := Figure3(scale)
+	if err != nil {
+		return fmt.Errorf("figure3: %w", err)
+	}
+	f3.Render(w)
+	fmt.Fprintln(w)
+	renderCheckList(w, "Figure 3 shape", f3.ShapeChecks())
+	fmt.Fprintln(w)
+
+	rt, err := Runtime(scale)
+	if err != nil {
+		return fmt.Errorf("runtime: %w", err)
+	}
+	RenderRuntime(w, rt)
+	fmt.Fprintln(w)
+
+	rb, err := AblationRollback(scale)
+	if err != nil {
+		return fmt.Errorf("ablation rollback: %w", err)
+	}
+	rb.Render(w)
+	fmt.Fprintln(w)
+
+	bud, err := AblationBudget(scale, nil)
+	if err != nil {
+		return fmt.Errorf("ablation budget: %w", err)
+	}
+	bud.Render(w)
+	fmt.Fprintln(w)
+
+	AblationEstimator(nil, nil).Render(w)
+	fmt.Fprintln(w)
+
+	rob, err := AblationRobust(1, nil, nil)
+	if err != nil {
+		return fmt.Errorf("ablation robust: %w", err)
+	}
+	rob.Render(w)
+	fmt.Fprintln(w)
+
+	rv, err := AblationRollbackVariants(scale)
+	if err != nil {
+		return fmt.Errorf("ablation rollback variants: %w", err)
+	}
+	rv.Render(w)
+	fmt.Fprintln(w)
+
+	val, err := Validation(scale, 400)
+	if err != nil {
+		return fmt.Errorf("validation: %w", err)
+	}
+	val.Render(w)
+	fmt.Fprintln(w)
+
+	// Full paper volume only at full scale; a reduced sweep otherwise.
+	tpDays, tpPerDay := 56, 192_000
+	if scale.Days < 56 {
+		tpDays, tpPerDay = scale.Days, 10_000
+	}
+	tp, err := Throughput(scale.Seed, tpDays, tpPerDay)
+	if err != nil {
+		return fmt.Errorf("throughput: %w", err)
+	}
+	tp.Render(w)
+	return nil
+}

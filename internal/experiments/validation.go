@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/auditgames/sag/internal/adversary"
+	"github.com/auditgames/sag/internal/core"
+	"github.com/auditgames/sag/internal/history"
+	"github.com/auditgames/sag/internal/sim"
+)
+
+// ValidationRow is the Monte-Carlo calibration result for one attacker
+// strategy.
+type ValidationRow struct {
+	Strategy     string
+	Trials       int
+	WarnRate     float64 // fraction of attacks that drew a warning
+	QuitRate     float64 // fraction that quit (== warn rate under OSSP)
+	CatchRate    float64 // fraction caught by the retrospective audit
+	MeanRealized float64 // realized auditor utility per trial
+	MeanAnalytic float64 // analytic LP (3) value at the attack alerts
+}
+
+// ValidationReport is experiment V1: the end-to-end empirical check that
+// realized utilities (sampled signals + sampled retrospective audits
+// against simulated attackers) match the analytic equilibrium values — the
+// property every figure in the paper silently relies on.
+type ValidationReport struct {
+	Rows []ValidationRow
+}
+
+// Validation runs the Monte-Carlo harness for the uniform, end-of-day, and
+// best-response attackers on the single-type setting.
+func Validation(scale Scale, trials int) (*ValidationReport, error) {
+	if trials <= 0 {
+		trials = 300
+	}
+	ds, err := sim.BuildTable1Pipeline(scale.pipeline(), []int{1})
+	if err != nil {
+		return nil, err
+	}
+	inst, err := sim.Table1Instance([]int{1})
+	if err != nil {
+		return nil, err
+	}
+	curves, err := history.NewCurves(ds.Records(0, scale.HistoryDays), ds.NumTypes, scale.HistoryDays)
+	if err != nil {
+		return nil, err
+	}
+	day := make([]core.Alert, 0, len(ds.Days[scale.HistoryDays]))
+	for _, a := range ds.Days[scale.HistoryDays] {
+		day = append(day, core.Alert{Type: a.Type, Time: a.Time})
+	}
+
+	rep := &ValidationReport{}
+	for _, strat := range []adversary.Strategy{
+		adversary.UniformAttacker{},
+		adversary.EndOfDayAttacker{},
+		adversary.BestResponseAttacker{},
+	} {
+		mc, err := adversary.Run(adversary.Config{
+			Instance:          inst,
+			Budget:            20,
+			Day:               day,
+			Curves:            curves,
+			RollbackThreshold: history.DefaultRollbackThreshold,
+			Strategy:          strat,
+			Trials:            trials,
+			Seed:              scale.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		n := float64(mc.Trials)
+		rep.Rows = append(rep.Rows, ValidationRow{
+			Strategy:     mc.StrategyName,
+			Trials:       mc.Trials,
+			WarnRate:     float64(mc.Warnings) / n,
+			QuitRate:     float64(mc.Quits) / n,
+			CatchRate:    float64(mc.Caught) / n,
+			MeanRealized: mc.MeanAuditor,
+			MeanAnalytic: mc.MeanExpected,
+		})
+	}
+	return rep, nil
+}
+
+// Render writes the calibration table.
+func (r *ValidationReport) Render(w io.Writer) {
+	fmt.Fprintln(w, "Validation V1 — Monte-Carlo realized vs analytic auditor utility (single type, B=20)")
+	fmt.Fprintf(w, "%-14s %7s %9s %9s %9s %12s %12s\n",
+		"strategy", "trials", "warn", "quit", "caught", "realized", "analytic")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-14s %7d %9.3f %9.3f %9.3f %12.2f %12.2f\n",
+			row.Strategy, row.Trials, row.WarnRate, row.QuitRate, row.CatchRate,
+			row.MeanRealized, row.MeanAnalytic)
+	}
+}

@@ -1,0 +1,152 @@
+package game
+
+import (
+	"math"
+	"testing"
+
+	"github.com/auditgames/sag/internal/dist"
+)
+
+func TestResourceSSESingleClassReducesToBase(t *testing.T) {
+	inst := table2Instance(t, 1)
+	futures := table1Futures()
+	base, err := SolveOnlineSSE(inst, 50, futures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveResourceSSE(inst, []ResourceClass{
+		{Name: "staff", Budget: 50, CostMultiplier: 1},
+	}, futures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestType != base.BestType {
+		t.Fatalf("best type %d vs base %d", res.BestType, base.BestType)
+	}
+	if math.Abs(res.DefenderUtility-base.DefenderUtility) > 1e-6 {
+		t.Fatalf("utility %g vs base %g", res.DefenderUtility, base.DefenderUtility)
+	}
+	for j := range res.Coverage {
+		if math.Abs(res.Coverage[j]-base.Coverage[j]) > 1e-6 {
+			t.Fatalf("coverage[%d] %g vs base %g", j, res.Coverage[j], base.Coverage[j])
+		}
+	}
+}
+
+func TestResourceSSEValidation(t *testing.T) {
+	inst := table2Instance(t, 1)
+	futures := table1Futures()
+	if _, err := SolveResourceSSE(inst, nil, futures); err == nil {
+		t.Error("no classes should be rejected")
+	}
+	if _, err := SolveResourceSSE(inst, []ResourceClass{{Budget: -1, CostMultiplier: 1}}, futures); err == nil {
+		t.Error("negative budget should be rejected")
+	}
+	if _, err := SolveResourceSSE(inst, []ResourceClass{{Budget: 1, CostMultiplier: 0}}, futures); err == nil {
+		t.Error("zero multiplier should be rejected")
+	}
+	if _, err := SolveResourceSSE(inst, []ResourceClass{{Budget: 1, CostMultiplier: 1, CanAudit: []bool{true}}}, futures); err == nil {
+		t.Error("mask length mismatch should be rejected")
+	}
+	if _, err := SolveResourceSSE(inst, []ResourceClass{{Budget: 1, CostMultiplier: 1}}, futures[:2]); err == nil {
+		t.Error("futures length mismatch should be rejected")
+	}
+}
+
+func TestResourceSSECapabilityMasksRespected(t *testing.T) {
+	inst := table2Instance(t, 1)
+	futures := table1Futures()
+	// Junior staff can only audit types 0–2; seniors anything.
+	juniorMask := []bool{true, true, true, false, false, false, false}
+	res, err := SolveResourceSSE(inst, []ResourceClass{
+		{Name: "junior", Budget: 40, CanAudit: juniorMask, CostMultiplier: 1},
+		{Name: "senior", Budget: 10, CostMultiplier: 1},
+	}, futures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 3; tt < 7; tt++ {
+		if res.Allocation[0][tt] > 1e-9 {
+			t.Fatalf("junior class allocated %g to uncertified type %d", res.Allocation[0][tt], tt)
+		}
+	}
+	// Per-class budgets respected.
+	for r, class := range []float64{40, 10} {
+		total := 0.0
+		for tt := 0; tt < 7; tt++ {
+			total += res.Allocation[r][tt]
+		}
+		if total > class+1e-6 {
+			t.Fatalf("class %d spent %g of %g", r, total, class)
+		}
+	}
+}
+
+func TestResourceSSEExpensiveClassIsDiscounted(t *testing.T) {
+	// Same total budget, but one setup pays double per audit for half the
+	// work: the defender utility must be no better than the baseline's.
+	inst := table2Instance(t, 1)
+	futures := table1Futures()
+	cheap, err := SolveResourceSSE(inst, []ResourceClass{
+		{Budget: 50, CostMultiplier: 1},
+	}, futures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pricey, err := SolveResourceSSE(inst, []ResourceClass{
+		{Budget: 50, CostMultiplier: 2},
+	}, futures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pricey.DefenderUtility > cheap.DefenderUtility+1e-9 {
+		t.Fatalf("doubling audit cost should not help: %g vs %g",
+			pricey.DefenderUtility, cheap.DefenderUtility)
+	}
+	// And it should match the base game at half budget.
+	half, err := SolveOnlineSSE(inst, 25, futures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pricey.DefenderUtility-half.DefenderUtility) > 1e-6 {
+		t.Fatalf("2× cost at 50 should equal 1× at 25: %g vs %g",
+			pricey.DefenderUtility, half.DefenderUtility)
+	}
+}
+
+func TestResourceSSESplitBudgetsNeverBeatPooled(t *testing.T) {
+	// Constrained budgets (earmarked per class with capability masks) can
+	// never beat one pooled unrestricted budget of the same size.
+	inst := table2Instance(t, 1)
+	futures := table1Futures()
+	pooled, err := SolveResourceSSE(inst, []ResourceClass{
+		{Budget: 50, CostMultiplier: 1},
+	}, futures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := SolveResourceSSE(inst, []ResourceClass{
+		{Budget: 25, CanAudit: []bool{true, true, true, true, false, false, false}, CostMultiplier: 1},
+		{Budget: 25, CanAudit: []bool{false, false, false, false, true, true, true}, CostMultiplier: 1},
+	}, futures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if split.DefenderUtility > pooled.DefenderUtility+1e-6 {
+		t.Fatalf("earmarked budgets beat pooled: %g vs %g",
+			split.DefenderUtility, pooled.DefenderUtility)
+	}
+}
+
+func TestResourceSSEVacuous(t *testing.T) {
+	inst := table2Instance(t, 1)
+	res, err := SolveResourceSSE(inst, []ResourceClass{
+		{Budget: 50, CostMultiplier: 1},
+	}, make([]dist.Poisson, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestType != -1 || res.DefenderUtility != 0 {
+		t.Fatalf("vacuous game: %+v", res)
+	}
+}

@@ -1,0 +1,301 @@
+package logstore
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/auditgames/sag/internal/emr"
+)
+
+func ev(day int, h float64, emp, pat int) emr.AccessEvent {
+	return emr.AccessEvent{
+		Day:        day,
+		Time:       time.Duration(h * float64(time.Hour)),
+		EmployeeID: emp,
+		PatientID:  pat,
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []emr.AccessEvent{
+		ev(0, 8.5, 1, 2),
+		ev(0, 9.25, 3, 4),
+		ev(1, 0, 0, 0),
+		ev(55, 23.99, 1<<20, 1<<24),
+	}
+	if err := w.AppendAll(events); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != int64(len(events)) {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	store, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("read %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, got[i], events[i])
+		}
+	}
+	if n, err := store.Count(); err != nil || n != int64(len(events)) {
+		t.Fatalf("Count = %d, %v", n, err)
+	}
+}
+
+func TestSegmentRollover(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments: every ~100 bytes rolls.
+	w, err := NewWriter(dir, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := w.Append(ev(i%56, float64(i%24), i, i*2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	store, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Segments() < 5 {
+		t.Fatalf("expected many segments at 100-byte roll size, got %d", store.Segments())
+	}
+	got, err := store.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("read %d, want %d", len(got), n)
+	}
+	for i, g := range got {
+		if g.EmployeeID != i {
+			t.Fatalf("order lost at %d: %+v", i, g)
+		}
+	}
+}
+
+func TestReopenStartsFreshSegment(t *testing.T) {
+	dir := t.TempDir()
+	w1, err := NewWriter(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = w1.Append(ev(0, 1, 1, 1))
+	_ = w1.Close()
+	w2, err := NewWriter(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = w2.Append(ev(0, 2, 2, 2))
+	_ = w2.Close()
+	store, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Segments() != 2 {
+		t.Fatalf("segments = %d, want 2 (sealed files are immutable)", store.Segments())
+	}
+	got, err := store.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].EmployeeID != 1 || got[1].EmployeeID != 2 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestCorruptionDetection(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		_ = w.Append(ev(0, float64(i%24), i, i))
+	}
+	_ = w.Close()
+	segs, _ := segments(dir)
+	raw, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the middle of the data area.
+	raw[len(raw)/2] ^= 0xFF
+	if err := os.WriteFile(segs[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	store, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = store.ReadAll()
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestBadMagicAndVersion(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "segment-000000.sagl"), []byte("NOPE\x01"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	store, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.ReadAll(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: want ErrCorrupt, got %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "segment-000000.sagl"), []byte("SAGL\x09"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	store, _ = Open(dir)
+	if _, err := store.ReadAll(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad version: want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestTruncatedSegment(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := NewWriter(dir, 0)
+	for i := 0; i < 10; i++ {
+		_ = w.Append(ev(0, 1, i, i))
+	}
+	_ = w.Close()
+	segs, _ := segments(dir)
+	raw, _ := os.ReadFile(segs[0])
+	if err := os.WriteFile(segs[0], raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	store, _ := Open(dir)
+	if _, err := store.ReadAll(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncation: want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestWriterRejectsInvalidEvents(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(emr.AccessEvent{Day: -1}); err == nil {
+		t.Error("negative day should be rejected")
+	}
+	if err := w.Append(emr.AccessEvent{EmployeeID: -2}); err == nil {
+		t.Error("negative employee should be rejected")
+	}
+}
+
+func TestClosedWriter(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := NewWriter(dir, 0)
+	_ = w.Close()
+	if err := w.Append(ev(0, 1, 1, 1)); err == nil {
+		t.Error("append after close should fail")
+	}
+	if err := w.Close(); err != nil {
+		t.Errorf("double close should be a no-op: %v", err)
+	}
+}
+
+func TestEmptyStore(t *testing.T) {
+	store, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Segments() != 0 {
+		t.Fatal("fresh dir should have no segments")
+	}
+	got, err := store.ReadAll()
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty store read: %v, %v", got, err)
+	}
+}
+
+func TestIterateEarlyStop(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := NewWriter(dir, 0)
+	for i := 0; i < 20; i++ {
+		_ = w.Append(ev(0, 1, i, i))
+	}
+	_ = w.Close()
+	store, _ := Open(dir)
+	stop := errors.New("stop")
+	n := 0
+	err := store.Iterate(func(emr.AccessEvent) error {
+		n++
+		if n == 5 {
+			return stop
+		}
+		return nil
+	})
+	if !errors.Is(err, stop) || n != 5 {
+		t.Fatalf("early stop: n=%d err=%v", n, err)
+	}
+}
+
+func TestGeneratorIntegrationThroughStore(t *testing.T) {
+	// Full-day generator output survives the store byte for byte.
+	world, err := emr.NewWorld(emr.WorldConfig{Seed: 2, Employees: 20, Patients: 50, Departments: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := emr.NewGenerator(world, emr.GeneratorConfig{Seed: 2, PairsPerKind: 5, BackgroundPerDay: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := gen.Day(0)
+	dir := t.TempDir()
+	w, err := NewWriter(dir, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendAll(day); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	store, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(day) {
+		t.Fatalf("read %d, want %d", len(got), len(day))
+	}
+	for i := range day {
+		if got[i] != day[i] {
+			t.Fatalf("event %d mismatch", i)
+		}
+	}
+}

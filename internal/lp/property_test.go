@@ -1,0 +1,181 @@
+package lp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// propertyConfig bounds the random case count so `go test` stays fast while
+// still exercising hundreds of random programs across the properties below.
+var propertyConfig = &quick.Config{MaxCount: 150}
+
+// boxLP describes a randomized "box + budget" LP used by the quick
+// properties: maximize c·x subject to x ∈ [0, u] and Σ x_i ≤ s. This family
+// always has a known optimum computable by a greedy argument, so it checks
+// the solver against an independent oracle.
+type boxLP struct {
+	C [4]float64
+	U [4]float64
+	S float64
+}
+
+func (b boxLP) normalized() boxLP {
+	for i := range b.U {
+		b.U[i] = math.Mod(math.Abs(b.U[i]), 5) // u ∈ [0,5)
+		b.C[i] = math.Mod(b.C[i], 7)           // c ∈ (-7,7)
+		if math.IsNaN(b.U[i]) || math.IsNaN(b.C[i]) {
+			b.U[i], b.C[i] = 1, 1
+		}
+	}
+	b.S = math.Mod(math.Abs(b.S), 12)
+	if math.IsNaN(b.S) {
+		b.S = 1
+	}
+	return b
+}
+
+// greedyOptimum solves the box+budget LP exactly: fill variables in
+// decreasing positive cost order until the budget s is exhausted.
+func (b boxLP) greedyOptimum() float64 {
+	type item struct{ c, u float64 }
+	items := make([]item, 0, 4)
+	for i := range b.C {
+		if b.C[i] > 0 {
+			items = append(items, item{b.C[i], b.U[i]})
+		}
+	}
+	// Insertion sort by cost descending (4 items max).
+	for i := 1; i < len(items); i++ {
+		for j := i; j > 0 && items[j].c > items[j-1].c; j-- {
+			items[j], items[j-1] = items[j-1], items[j]
+		}
+	}
+	left := b.S
+	total := 0.0
+	for _, it := range items {
+		take := math.Min(it.u, left)
+		total += it.c * take
+		left -= take
+		if left <= 0 {
+			break
+		}
+	}
+	return total
+}
+
+func (b boxLP) problem() *Problem {
+	p := New(Maximize, 4)
+	_ = p.SetObjective(b.C[:])
+	for i := range b.U {
+		_ = p.SetBounds(i, 0, b.U[i])
+	}
+	_ = p.AddConstraint([]float64{1, 1, 1, 1}, LE, b.S)
+	return p
+}
+
+// TestQuickBoxBudgetMatchesGreedy checks the solver against the greedy
+// closed form on the box+budget family.
+func TestQuickBoxBudgetMatchesGreedy(t *testing.T) {
+	prop := func(raw boxLP) bool {
+		b := raw.normalized()
+		sol, err := Solve(b.problem())
+		if err != nil || sol.Status != Optimal {
+			return false
+		}
+		return math.Abs(sol.Objective-b.greedyOptimum()) < 1e-6
+	}
+	if err := quick.Check(prop, propertyConfig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSolutionsAreFeasible checks that every optimal solution returned
+// on the random family satisfies its own constraints.
+func TestQuickSolutionsAreFeasible(t *testing.T) {
+	prop := func(raw boxLP) bool {
+		b := raw.normalized()
+		p := b.problem()
+		sol, err := Solve(p)
+		if err != nil || sol.Status != Optimal {
+			return false
+		}
+		v, err := p.Violation(sol.X)
+		return err == nil && v < 1e-6
+	}
+	if err := quick.Check(prop, propertyConfig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickScaleInvariance checks that scaling the objective by a positive
+// constant scales the optimum by the same constant (a basic LP invariant
+// that catches sign and normalization bugs).
+func TestQuickScaleInvariance(t *testing.T) {
+	prop := func(raw boxLP, rawScale float64) bool {
+		b := raw.normalized()
+		scale := 0.5 + math.Mod(math.Abs(rawScale), 4)
+		if math.IsNaN(scale) {
+			scale = 2
+		}
+		sol1, err1 := Solve(b.problem())
+		scaled := b
+		for i := range scaled.C {
+			scaled.C[i] *= scale
+		}
+		sol2, err2 := Solve(scaled.problem())
+		if err1 != nil || err2 != nil || sol1.Status != Optimal || sol2.Status != Optimal {
+			return false
+		}
+		return math.Abs(sol2.Objective-scale*sol1.Objective) < 1e-5*(1+math.Abs(sol1.Objective))
+	}
+	if err := quick.Check(prop, propertyConfig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTighterBudgetNeverHelps checks monotonicity: shrinking the shared
+// budget can never increase the maximum.
+func TestQuickTighterBudgetNeverHelps(t *testing.T) {
+	prop := func(raw boxLP) bool {
+		b := raw.normalized()
+		tight := b
+		tight.S = b.S / 2
+		solLoose, err1 := Solve(b.problem())
+		solTight, err2 := Solve(tight.problem())
+		if err1 != nil || err2 != nil || solLoose.Status != Optimal || solTight.Status != Optimal {
+			return false
+		}
+		return solTight.Objective <= solLoose.Objective+1e-7
+	}
+	if err := quick.Check(prop, propertyConfig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDualityGapOnKnapsack checks weak duality against a hand-built
+// dual feasible point for the box+budget family: for any λ ≥ 0,
+// optimum ≤ λ·s + Σ max(0, c_i-λ)·u_i.
+func TestQuickDualityGapOnKnapsack(t *testing.T) {
+	prop := func(raw boxLP, rawLambda float64) bool {
+		b := raw.normalized()
+		lambda := math.Mod(math.Abs(rawLambda), 8)
+		if math.IsNaN(lambda) {
+			lambda = 1
+		}
+		sol, err := Solve(b.problem())
+		if err != nil || sol.Status != Optimal {
+			return false
+		}
+		bound := lambda * b.S
+		for i := range b.C {
+			if over := b.C[i] - lambda; over > 0 {
+				bound += over * b.U[i]
+			}
+		}
+		return sol.Objective <= bound+1e-6
+	}
+	if err := quick.Check(prop, propertyConfig); err != nil {
+		t.Fatal(err)
+	}
+}

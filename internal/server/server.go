@@ -1,0 +1,310 @@
+// Package server exposes the online Signaling Audit Game as an HTTP
+// service — the deployment shape the paper describes: an EMR front end
+// calls the service for every access request; benign requests pass
+// silently, suspicious ones get a real-time warn/allow decision; at the end
+// of the audit cycle the service emits the retrospective audit plan.
+//
+// Endpoints (JSON over HTTP, stdlib net/http only):
+//
+//	POST /v1/access        — evaluate one access; returns whether to warn
+//	POST /v1/quit          — report that a warned user abandoned the access
+//	POST /v1/cycle/close   — sample and return the retrospective audit plan
+//	POST /v1/cycle/new     — start the next audit cycle with a fresh budget
+//	GET  /v1/status        — budget, counts, and configuration snapshot
+//
+// The server serializes all engine access through a mutex: the engine is
+// deliberately single-threaded per audit cycle (decisions are order-
+// dependent through the budget), and the per-decision cost is tens of
+// microseconds, far below any plausible request rate in this domain.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/auditgames/sag/internal/alerts"
+	"github.com/auditgames/sag/internal/core"
+	"github.com/auditgames/sag/internal/emr"
+	"github.com/auditgames/sag/internal/game"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// World and detection rules: every access is joined against these.
+	World    *emr.World
+	Taxonomy *alerts.Taxonomy
+	// TypeIDs maps taxonomy type IDs to engine type indices (position in
+	// the slice = engine index). Alerts of unlisted types are logged but
+	// not gamed (treated as benign for auditing purposes).
+	TypeIDs []int
+	// Instance, Budget, Estimator, Seed configure the game engine.
+	Instance  *game.Instance
+	Budget    float64
+	Estimator core.Estimator
+	Seed      int64
+	// Clock returns the current offset within the audit cycle; defaults to
+	// wall-clock time-of-day. Tests inject a fake.
+	Clock func() time.Duration
+}
+
+// Server is the HTTP facade. Create with New and mount via Handler.
+type Server struct {
+	mu       sync.Mutex
+	detector *alerts.Engine
+	engine   *core.Engine
+	cfg      Config
+	typeIdx  map[int]int // taxonomy ID → engine index
+	flagged  map[int]bool
+	accesses int
+	alerts   int
+	warned   int
+	quits    int
+}
+
+// New validates the configuration and builds the server.
+func New(cfg Config) (*Server, error) {
+	if cfg.World == nil || cfg.Taxonomy == nil {
+		return nil, errors.New("server: World and Taxonomy are required")
+	}
+	if cfg.Instance == nil || cfg.Estimator == nil {
+		return nil, errors.New("server: Instance and Estimator are required")
+	}
+	if len(cfg.TypeIDs) != cfg.Instance.NumTypes() {
+		return nil, fmt.Errorf("server: %d type IDs for %d engine types", len(cfg.TypeIDs), cfg.Instance.NumTypes())
+	}
+	detector, err := alerts.NewEngine(cfg.World, cfg.Taxonomy)
+	if err != nil {
+		return nil, err
+	}
+	engine, err := core.NewEngine(core.Config{
+		Instance:  cfg.Instance,
+		Budget:    cfg.Budget,
+		Estimator: cfg.Estimator,
+		Policy:    core.PolicyOSSP,
+		Rand:      rand.New(rand.NewSource(cfg.Seed)),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = func() time.Duration {
+			now := time.Now()
+			return time.Duration(now.Hour())*time.Hour +
+				time.Duration(now.Minute())*time.Minute +
+				time.Duration(now.Second())*time.Second
+		}
+	}
+	idx := make(map[int]int, len(cfg.TypeIDs))
+	for i, id := range cfg.TypeIDs {
+		if _, dup := idx[id]; dup {
+			return nil, fmt.Errorf("server: duplicate type ID %d", id)
+		}
+		idx[id] = i
+	}
+	return &Server{
+		detector: detector,
+		engine:   engine,
+		cfg:      cfg,
+		typeIdx:  idx,
+		flagged:  make(map[int]bool),
+	}, nil
+}
+
+// AccessRequest is the body of POST /v1/access.
+type AccessRequest struct {
+	EmployeeID int `json:"employee_id"`
+	PatientID  int `json:"patient_id"`
+}
+
+// AccessResponse is the decision for one access request.
+type AccessResponse struct {
+	// Alert reports whether any detection rule fired.
+	Alert bool `json:"alert"`
+	// TypeID is the taxonomy type of the alert (0 when no alert).
+	TypeID int `json:"type_id,omitempty"`
+	// Rules describes the fired rules.
+	Rules string `json:"rules,omitempty"`
+	// Warn instructs the front end to show the warning dialog.
+	Warn bool `json:"warn"`
+	// Flagged reports that the employee previously abandoned a warned
+	// access; per the paper's §4 discussion such users are always
+	// investigated.
+	Flagged bool `json:"flagged,omitempty"`
+	// RemainingBudget is the post-decision audit budget.
+	RemainingBudget float64 `json:"remaining_budget"`
+}
+
+// QuitRequest is the body of POST /v1/quit: a warned user abandoned the
+// access. Quitting reveals the requester (the paper's Theorem 3 remark),
+// so the server flags the employee.
+type QuitRequest struct {
+	EmployeeID int `json:"employee_id"`
+}
+
+// CloseResponse is the retrospective audit plan.
+type CloseResponse struct {
+	Audits    []core.AuditOutcome `json:"audits"`
+	TotalCost float64             `json:"total_cost"`
+}
+
+// NewCycleRequest starts the next audit cycle.
+type NewCycleRequest struct {
+	Budget float64 `json:"budget"`
+}
+
+// Status is the GET /v1/status snapshot.
+type Status struct {
+	Budget          float64 `json:"budget"`
+	RemainingBudget float64 `json:"remaining_budget"`
+	Accesses        int     `json:"accesses"`
+	Alerts          int     `json:"alerts"`
+	Warned          int     `json:"warned"`
+	Quits           int     `json:"quits"`
+	FlaggedUsers    int     `json:"flagged_users"`
+	NumTypes        int     `json:"num_types"`
+}
+
+// Handler returns the HTTP handler with all routes mounted.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/access", s.handleAccess)
+	mux.HandleFunc("POST /v1/quit", s.handleQuit)
+	mux.HandleFunc("POST /v1/cycle/close", s.handleClose)
+	mux.HandleFunc("POST /v1/cycle/new", s.handleNewCycle)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request) {
+	var req AccessRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "invalid JSON: " + err.Error()})
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.accesses++
+
+	now := s.cfg.Clock()
+	alert, fired, err := s.detector.Evaluate(emr.AccessEvent{
+		Time:       now,
+		EmployeeID: req.EmployeeID,
+		PatientID:  req.PatientID,
+	})
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	resp := AccessResponse{RemainingBudget: s.engine.RemainingBudget()}
+	if !fired {
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	s.alerts++
+	resp.Alert = true
+	resp.TypeID = alert.Type
+	resp.Rules = alert.Rules.String()
+
+	if s.flagged[req.EmployeeID] {
+		// Known quitter: always warn (and the access is investigated out
+		// of band — the paper notes this is cheap because quits are rare).
+		resp.Warn = true
+		resp.Flagged = true
+		s.warned++
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	idx, gamed := s.typeIdx[alert.Type]
+	if !gamed {
+		// Unmodeled type: logged, never warned (no payoff structure).
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	d, err := s.engine.Process(core.Alert{Type: idx, Time: now})
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		return
+	}
+	resp.Warn = d.Warned
+	resp.RemainingBudget = d.BudgetAfter
+	if d.Warned {
+		s.warned++
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleQuit(w http.ResponseWriter, r *http.Request) {
+	var req QuitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "invalid JSON: " + err.Error()})
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if req.EmployeeID < 0 || req.EmployeeID >= len(s.cfg.World.Employees) {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("unknown employee %d", req.EmployeeID)})
+		return
+	}
+	s.quits++
+	s.flagged[req.EmployeeID] = true
+	writeJSON(w, http.StatusOK, struct {
+		Flagged bool `json:"flagged"`
+	}{Flagged: true})
+}
+
+func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rng := rand.New(rand.NewSource(s.cfg.Seed ^ int64(s.accesses)))
+	audits, total := s.engine.CloseCycle(rng)
+	writeJSON(w, http.StatusOK, CloseResponse{Audits: audits, TotalCost: total})
+}
+
+func (s *Server) handleNewCycle(w http.ResponseWriter, r *http.Request) {
+	var req NewCycleRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "invalid JSON: " + err.Error()})
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.engine.NewCycle(req.Budget); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	s.accesses, s.alerts, s.warned = 0, 0, 0
+	writeJSON(w, http.StatusOK, struct {
+		Budget float64 `json:"budget"`
+	}{Budget: req.Budget})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	writeJSON(w, http.StatusOK, Status{
+		Budget:          s.engine.InitialBudget(),
+		RemainingBudget: s.engine.RemainingBudget(),
+		Accesses:        s.accesses,
+		Alerts:          s.alerts,
+		Warned:          s.warned,
+		Quits:           s.quits,
+		FlaggedUsers:    len(s.flagged),
+		NumTypes:        s.cfg.Instance.NumTypes(),
+	})
+}

@@ -1,0 +1,214 @@
+package signaling
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/auditgames/sag/internal/lp"
+)
+
+// This file implements the Bayesian extension the paper sketches in its
+// conclusions ("in practice, there may exist many types of attacker; thus,
+// SAG can be generalized into a Bayesian setting"): the auditor faces an
+// attacker whose payoff structure is private, drawn from a known prior over
+// finitely many types. The auditor still commits to one joint
+// signaling/audit scheme per alert; each attacker type best-responds to it
+// separately (quit or proceed after a warning; attack or stay out
+// overall).
+//
+// The optimal Bayesian scheme is found by enumerating the attacker types'
+// joint best-response pattern — which types a warning persuades to quit,
+// and which types participate at all — and solving one LP per pattern with
+// the pattern enforced as constraints. With m types this is 4^m small LPs;
+// the implementation caps m at 8, far beyond what the audit setting needs.
+
+// AttackerType is one attacker type in the Bayesian SAG: its prior
+// probability and its private utilities for attacking a covered/uncovered
+// alert.
+type AttackerType struct {
+	Prior float64
+	// Covered is the attacker's utility when his victim alert is audited
+	// (must be < 0).
+	Covered float64
+	// Uncovered is his utility when it is not audited (must be > 0).
+	Uncovered float64
+}
+
+// DefenderSide is the auditor's side of the payoff matrix (hers is public
+// and type-independent).
+type DefenderSide struct {
+	// Covered is the auditor's utility for auditing the victim alert
+	// (≥ 0); Uncovered for missing it (< 0).
+	Covered   float64
+	Uncovered float64
+}
+
+// BayesianScheme is the optimal joint scheme against a type-uncertain
+// attacker, with each type's induced behavior.
+type BayesianScheme struct {
+	P1, Q1, P0, Q0 float64
+	// DefenderUtility is the prior-weighted expected auditor utility.
+	DefenderUtility float64
+	// QuitsAfterWarn[k] reports whether type k quits on seeing a warning.
+	QuitsAfterWarn []bool
+	// Participates[k] reports whether type k attacks at all.
+	Participates []bool
+	// TypeUtilities[k] is type k's expected utility under the scheme
+	// (0 when it stays out).
+	TypeUtilities []float64
+}
+
+// MaxBayesianTypes bounds the enumeration (4^m LPs).
+const MaxBayesianTypes = 8
+
+// SolveBayesian computes the optimal Bayesian OSSP for one alert with
+// marginal audit probability theta, defender payoffs def, and attacker
+// type distribution types. Priors must be positive and sum to 1 (within
+// 1e-9).
+func SolveBayesian(def DefenderSide, types []AttackerType, theta float64) (BayesianScheme, error) {
+	if len(types) == 0 {
+		return BayesianScheme{}, fmt.Errorf("signaling: no attacker types")
+	}
+	if len(types) > MaxBayesianTypes {
+		return BayesianScheme{}, fmt.Errorf("signaling: %d attacker types exceeds the supported %d", len(types), MaxBayesianTypes)
+	}
+	if theta < 0 || theta > 1 || math.IsNaN(theta) {
+		return BayesianScheme{}, fmt.Errorf("signaling: theta %g out of [0,1]", theta)
+	}
+	if !(def.Covered >= 0) || !(def.Uncovered < 0) {
+		return BayesianScheme{}, fmt.Errorf("signaling: defender payoffs %+v violate U_dc >= 0 > U_du", def)
+	}
+	sum := 0.0
+	for k, t := range types {
+		if !(t.Prior > 0) {
+			return BayesianScheme{}, fmt.Errorf("signaling: type %d prior %g must be positive", k, t.Prior)
+		}
+		if !(t.Covered < 0) || !(t.Uncovered > 0) {
+			return BayesianScheme{}, fmt.Errorf("signaling: type %d payoffs %+v violate U_ac < 0 < U_au", k, t)
+		}
+		sum += t.Prior
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return BayesianScheme{}, fmt.Errorf("signaling: priors sum to %g, want 1", sum)
+	}
+
+	m := len(types)
+	best := BayesianScheme{DefenderUtility: math.Inf(-1)}
+	found := false
+	for quitMask := 0; quitMask < 1<<m; quitMask++ {
+		for partMask := 0; partMask < 1<<m; partMask++ {
+			s, ok, err := solveBayesianPattern(def, types, theta, quitMask, partMask)
+			if err != nil {
+				return BayesianScheme{}, err
+			}
+			if ok && (!found || s.DefenderUtility > best.DefenderUtility+1e-12) {
+				best = s
+				found = true
+			}
+		}
+	}
+	if !found {
+		// Cannot happen: the all-quit/none-participate pattern admits
+		// p1=θ, q1=1−θ whenever every type's β ≤ 0, and the complementary
+		// patterns cover the rest; kept as a defensive error.
+		return BayesianScheme{}, fmt.Errorf("signaling: no feasible best-response pattern (internal invariant violated)")
+	}
+	return best, nil
+}
+
+// solveBayesianPattern solves the LP that enforces a fixed best-response
+// pattern: bit k of quitMask = type k quits after a warning; bit k of
+// partMask = type k participates (attacks).
+func solveBayesianPattern(def DefenderSide, types []AttackerType, theta float64, quitMask, partMask int) (BayesianScheme, bool, error) {
+	m := len(types)
+	prob := lp.New(lp.Maximize, 4) // p1, q1, p0, q0
+	for i := 0; i < 4; i++ {
+		if err := prob.SetBounds(i, 0, 1); err != nil {
+			return BayesianScheme{}, false, err
+		}
+	}
+	// Marginals.
+	if err := prob.AddConstraint([]float64{1, 0, 1, 0}, lp.EQ, theta); err != nil {
+		return BayesianScheme{}, false, err
+	}
+	if err := prob.AddConstraint([]float64{0, 1, 0, 1}, lp.EQ, 1-theta); err != nil {
+		return BayesianScheme{}, false, err
+	}
+
+	obj := make([]float64, 4)
+	for k, t := range types {
+		quits := quitMask&(1<<k) != 0
+		participates := partMask&(1<<k) != 0
+
+		// Persuasion sign: warn-branch utility p1·U_ac + q1·U_au.
+		warnRow := []float64{t.Covered, t.Uncovered, 0, 0}
+		if quits {
+			if err := prob.AddConstraint(warnRow, lp.LE, 0); err != nil {
+				return BayesianScheme{}, false, err
+			}
+		} else {
+			if err := prob.AddConstraint(warnRow, lp.GE, 0); err != nil {
+				return BayesianScheme{}, false, err
+			}
+		}
+
+		// Participation sign on the overall attack utility A_k.
+		aRow := []float64{0, 0, t.Covered, t.Uncovered}
+		if !quits {
+			aRow[0] += t.Covered
+			aRow[1] += t.Uncovered
+		}
+		if participates {
+			if err := prob.AddConstraint(aRow, lp.GE, 0); err != nil {
+				return BayesianScheme{}, false, err
+			}
+		} else {
+			if err := prob.AddConstraint(aRow, lp.LE, 0); err != nil {
+				return BayesianScheme{}, false, err
+			}
+		}
+
+		// Objective contribution: participating types expose the auditor
+		// to the silent branch always and to the warn branch only when
+		// they proceed through it.
+		if participates {
+			obj[2] += t.Prior * def.Covered
+			obj[3] += t.Prior * def.Uncovered
+			if !quits {
+				obj[0] += t.Prior * def.Covered
+				obj[1] += t.Prior * def.Uncovered
+			}
+		}
+	}
+	if err := prob.SetObjective(obj); err != nil {
+		return BayesianScheme{}, false, err
+	}
+
+	sol, err := lp.Solve(prob)
+	if err != nil {
+		return BayesianScheme{}, false, err
+	}
+	if sol.Status != lp.Optimal {
+		return BayesianScheme{}, false, nil
+	}
+
+	s := BayesianScheme{
+		P1: sol.X[0], Q1: sol.X[1], P0: sol.X[2], Q0: sol.X[3],
+		DefenderUtility: sol.Objective,
+		QuitsAfterWarn:  make([]bool, m),
+		Participates:    make([]bool, m),
+		TypeUtilities:   make([]float64, m),
+	}
+	for k, t := range types {
+		s.QuitsAfterWarn[k] = quitMask&(1<<k) != 0
+		s.Participates[k] = partMask&(1<<k) != 0
+		if s.Participates[k] {
+			u := s.P0*t.Covered + s.Q0*t.Uncovered
+			if !s.QuitsAfterWarn[k] {
+				u += s.P1*t.Covered + s.Q1*t.Uncovered
+			}
+			s.TypeUtilities[k] = u
+		}
+	}
+	return s, true, nil
+}

@@ -1,0 +1,213 @@
+package signaling
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/auditgames/sag/internal/payoff"
+)
+
+func defSide() DefenderSide { return DefenderSide{Covered: 100, Uncovered: -400} }
+
+func TestBayesianSingleTypeReducesToOSSP(t *testing.T) {
+	// With one attacker type, the Bayesian solver must reproduce the plain
+	// OSSP across the θ range.
+	pf := payoff.Table2()[1]
+	types := []AttackerType{{Prior: 1, Covered: pf.AttackerCovered, Uncovered: pf.AttackerUncovered}}
+	def := DefenderSide{Covered: pf.DefenderCovered, Uncovered: pf.DefenderUncovered}
+	for theta := 0.0; theta <= 1.0001; theta += 0.1 {
+		th := math.Min(theta, 1)
+		b, err := SolveBayesian(def, types, th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := SolveLP(pf, th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(b.DefenderUtility-s.DefenderUtility) > 1e-6 {
+			t.Fatalf("θ=%.1f: Bayesian %g vs OSSP %g", th, b.DefenderUtility, s.DefenderUtility)
+		}
+	}
+}
+
+func TestBayesianValidation(t *testing.T) {
+	def := defSide()
+	good := []AttackerType{{Prior: 1, Covered: -2000, Uncovered: 400}}
+	cases := []struct {
+		name  string
+		def   DefenderSide
+		types []AttackerType
+		theta float64
+	}{
+		{"no types", def, nil, 0.1},
+		{"bad theta", def, good, 1.5},
+		{"NaN theta", def, good, math.NaN()},
+		{"bad prior", def, []AttackerType{{Prior: 0, Covered: -1, Uncovered: 1}}, 0.1},
+		{"priors not summing", def, []AttackerType{{Prior: 0.4, Covered: -1, Uncovered: 1}}, 0.1},
+		{"bad covered sign", def, []AttackerType{{Prior: 1, Covered: 1, Uncovered: 1}}, 0.1},
+		{"bad uncovered sign", def, []AttackerType{{Prior: 1, Covered: -1, Uncovered: -1}}, 0.1},
+		{"bad defender", DefenderSide{Covered: -1, Uncovered: -1}, good, 0.1},
+	}
+	for _, c := range cases {
+		if _, err := SolveBayesian(c.def, c.types, c.theta); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+	// Too many types.
+	many := make([]AttackerType, MaxBayesianTypes+1)
+	for i := range many {
+		many[i] = AttackerType{Prior: 1 / float64(len(many)), Covered: -10, Uncovered: 1}
+	}
+	if _, err := SolveBayesian(def, many, 0.1); err == nil {
+		t.Error("too many types should be rejected")
+	}
+}
+
+func TestBayesianSchemeIsDistribution(t *testing.T) {
+	def := defSide()
+	types := []AttackerType{
+		{Prior: 0.6, Covered: -2000, Uncovered: 400},
+		{Prior: 0.4, Covered: -500, Uncovered: 900}, // bolder type
+	}
+	for _, theta := range []float64{0, 0.05, 0.1, 0.2, 0.5, 1} {
+		s, err := SolveBayesian(def, types, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := s.P1 + s.Q1 + s.P0 + s.Q0
+		if math.Abs(total-1) > 1e-7 {
+			t.Fatalf("θ=%g: probabilities sum to %g", theta, total)
+		}
+		if math.Abs(s.P1+s.P0-theta) > 1e-7 {
+			t.Fatalf("θ=%g: marginal audit %g", theta, s.P1+s.P0)
+		}
+		for _, v := range []float64{s.P1, s.Q1, s.P0, s.Q0} {
+			if v < -1e-9 || v > 1+1e-9 {
+				t.Fatalf("θ=%g: probability %g out of range", theta, v)
+			}
+		}
+		if len(s.QuitsAfterWarn) != 2 || len(s.Participates) != 2 || len(s.TypeUtilities) != 2 {
+			t.Fatal("per-type slices sized wrong")
+		}
+	}
+}
+
+func TestBayesianBestResponseConsistency(t *testing.T) {
+	// The reported pattern must be consistent with the scheme: quitting
+	// types have non-positive warn-branch utility, proceeding types
+	// non-negative; participating types have non-negative overall utility.
+	def := defSide()
+	types := []AttackerType{
+		{Prior: 0.5, Covered: -2000, Uncovered: 400},
+		{Prior: 0.3, Covered: -300, Uncovered: 800},
+		{Prior: 0.2, Covered: -5000, Uncovered: 200},
+	}
+	for _, theta := range []float64{0.02, 0.08, 0.15, 0.3} {
+		s, err := SolveBayesian(def, types, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, at := range types {
+			warnU := s.P1*at.Covered + s.Q1*at.Uncovered
+			if s.QuitsAfterWarn[k] && warnU > 1e-6 {
+				t.Fatalf("θ=%g type %d: quits but warn utility %g > 0", theta, k, warnU)
+			}
+			if !s.QuitsAfterWarn[k] && warnU < -1e-6 {
+				t.Fatalf("θ=%g type %d: proceeds but warn utility %g < 0", theta, k, warnU)
+			}
+			a := s.P0*at.Covered + s.Q0*at.Uncovered
+			if !s.QuitsAfterWarn[k] {
+				a += warnU
+			}
+			if s.Participates[k] && a < -1e-6 {
+				t.Fatalf("θ=%g type %d: participates at utility %g", theta, k, a)
+			}
+			if !s.Participates[k] && a > 1e-6 {
+				t.Fatalf("θ=%g type %d: stays out despite utility %g", theta, k, a)
+			}
+			if s.Participates[k] && math.Abs(s.TypeUtilities[k]-a) > 1e-6 {
+				t.Fatalf("θ=%g type %d: reported utility %g vs computed %g", theta, k, s.TypeUtilities[k], a)
+			}
+		}
+	}
+}
+
+func TestBayesianDominatesWorstCaseSingleType(t *testing.T) {
+	// Facing a mixture, the Bayesian optimum is at least the prior-weighted
+	// value of any fixed feasible scheme — in particular the scheme
+	// optimized for the timid type alone. Sanity-check the direction.
+	def := defSide()
+	timid := AttackerType{Prior: 0.7, Covered: -2000, Uncovered: 400}
+	bold := AttackerType{Prior: 0.3, Covered: -300, Uncovered: 900}
+	theta := 0.1
+	b, err := SolveBayesian(def, []AttackerType{timid, bold}, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evaluate the timid-only OSSP scheme against the mixture.
+	pfTimid := payoff.Payoff{
+		DefenderCovered: def.Covered, DefenderUncovered: def.Uncovered,
+		AttackerCovered: timid.Covered, AttackerUncovered: timid.Uncovered,
+	}
+	s, err := SolveLP(pfTimid, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixture := 0.0
+	for _, at := range []AttackerType{timid, bold} {
+		warnU := s.P1*at.Covered + s.Q1*at.Uncovered
+		attackU := s.P0*at.Covered + s.Q0*at.Uncovered
+		if warnU > 0 {
+			attackU += warnU
+		}
+		if attackU <= 0 {
+			continue // this type stays out → contributes 0
+		}
+		contrib := s.P0*def.Covered + s.Q0*def.Uncovered
+		if warnU > 0 {
+			contrib += s.P1*def.Covered + s.Q1*def.Uncovered
+		}
+		mixture += at.Prior * contrib
+	}
+	if b.DefenderUtility < mixture-1e-6 {
+		t.Fatalf("Bayesian optimum %g below fixed-scheme value %g", b.DefenderUtility, mixture)
+	}
+}
+
+func TestQuickBayesianNeverBelowNoSignal(t *testing.T) {
+	// Not signaling at all (everything silent) is always feasible, so the
+	// Bayesian optimum is bounded below by the no-signal mixture value.
+	def := defSide()
+	prop := func(c1, u1, c2, u2, pr, rawTheta float64) bool {
+		clean := func(x, lo, hi float64) float64 {
+			v := math.Mod(math.Abs(x), hi-lo)
+			if math.IsNaN(v) {
+				v = 0
+			}
+			return lo + v
+		}
+		t1 := AttackerType{Covered: -clean(c1, 1, 5000), Uncovered: clean(u1, 1, 1000)}
+		t2 := AttackerType{Covered: -clean(c2, 1, 5000), Uncovered: clean(u2, 1, 1000)}
+		t1.Prior = clean(pr, 0.05, 0.95)
+		t2.Prior = 1 - t1.Prior
+		theta := clean(rawTheta, 0, 1)
+		b, err := SolveBayesian(def, []AttackerType{t1, t2}, theta)
+		if err != nil {
+			return false
+		}
+		// No-signal value: each type attacks iff θ-coverage leaves him
+		// positive utility.
+		noSignal := 0.0
+		for _, at := range []AttackerType{t1, t2} {
+			if theta*at.Covered+(1-theta)*at.Uncovered > 0 {
+				noSignal += at.Prior * (theta*def.Covered + (1-theta)*def.Uncovered)
+			}
+		}
+		return b.DefenderUtility >= noSignal-1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,149 @@
+package signaling
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/auditgames/sag/internal/payoff"
+)
+
+func TestNSignalTwoEqualsBinaryOSSP(t *testing.T) {
+	for id := 1; id <= 7; id++ {
+		pf := payoff.Table2()[id]
+		for _, theta := range []float64{0, 0.05, 0.1, 0.2, 0.5, 1} {
+			binary, err := SolveLP(pf, theta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			two, err := SolveNSignal(pf, theta, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(two.DefenderUtility-binary.DefenderUtility) > 1e-6 {
+				t.Fatalf("type %d θ=%g: 2-signal %g vs binary %g",
+					id, theta, two.DefenderUtility, binary.DefenderUtility)
+			}
+		}
+	}
+}
+
+func TestTwoSignalsSuffice(t *testing.T) {
+	// The persuasion-theoretic claim, verified numerically: 3, 4, and 5
+	// signal alphabets buy the auditor nothing over the paper's binary
+	// warn/silent scheme.
+	for _, id := range []int{1, 4, 7} {
+		pf := payoff.Table2()[id]
+		for _, theta := range []float64{0.03, 0.1, 0.166, 0.4} {
+			binary, err := SolveLP(pf, theta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for n := 3; n <= 5; n++ {
+				multi, err := SolveNSignal(pf, theta, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if multi.DefenderUtility > binary.DefenderUtility+1e-6 {
+					t.Fatalf("type %d θ=%g: %d signals beat binary (%g > %g) — persuasion theory violated",
+						id, theta, n, multi.DefenderUtility, binary.DefenderUtility)
+				}
+				if multi.DefenderUtility < binary.DefenderUtility-1e-6 {
+					t.Fatalf("type %d θ=%g: %d signals worse than binary (%g < %g) — superset should match",
+						id, theta, n, multi.DefenderUtility, binary.DefenderUtility)
+				}
+			}
+		}
+	}
+}
+
+func TestNSignalOneSignalIsNoSignaling(t *testing.T) {
+	// With a single (silent) signal there is nothing to reveal: the value
+	// equals the plain SSE commitment at θ, with participation accounting.
+	pf := payoff.Table2()[1]
+	for _, theta := range []float64{0.05, 0.1, 0.3} {
+		s, err := SolveNSignal(pf, theta, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want float64
+		if pf.AttackerExpected(theta) <= 0 {
+			want = 0
+		} else {
+			want = pf.DefenderExpected(theta)
+		}
+		if math.Abs(s.DefenderUtility-want) > 1e-6 {
+			t.Fatalf("θ=%g: 1-signal %g, want %g", theta, s.DefenderUtility, want)
+		}
+	}
+}
+
+func TestNSignalValidation(t *testing.T) {
+	pf := payoff.Table2()[1]
+	if _, err := SolveNSignal(pf, -0.1, 2); err == nil {
+		t.Error("bad theta should be rejected")
+	}
+	if _, err := SolveNSignal(pf, 0.1, 0); err == nil {
+		t.Error("zero signals should be rejected")
+	}
+	if _, err := SolveNSignal(pf, 0.1, MaxSignals+1); err == nil {
+		t.Error("too many signals should be rejected")
+	}
+	if _, err := SolveNSignal(payoff.Payoff{}, 0.1, 2); err == nil {
+		t.Error("invalid payoff should be rejected")
+	}
+}
+
+func TestNSignalSchemeIsDistribution(t *testing.T) {
+	pf := payoff.Table2()[3]
+	s, err := SolveNSignal(pf, 0.12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	auditMass := 0.0
+	for i := range s.P {
+		if s.P[i] < -1e-9 || s.Q[i] < -1e-9 {
+			t.Fatalf("negative probability in %+v", s)
+		}
+		total += s.P[i] + s.Q[i]
+		auditMass += s.P[i]
+	}
+	if math.Abs(total-1) > 1e-7 {
+		t.Fatalf("probabilities sum to %g", total)
+	}
+	if math.Abs(auditMass-0.12) > 1e-7 {
+		t.Fatalf("audit marginal %g, want 0.12", auditMass)
+	}
+	if !s.Proceeds[0] {
+		t.Fatal("signal 0 (silent) must always proceed")
+	}
+}
+
+func TestQuickTwoSignalsSufficeRandomPayoffs(t *testing.T) {
+	prop := func(dc, du, ac, au, rawTheta float64) bool {
+		clean := func(x, lo, hi float64) float64 {
+			v := math.Mod(math.Abs(x), hi-lo)
+			if math.IsNaN(v) {
+				v = 0
+			}
+			return lo + v
+		}
+		pf := payoff.Payoff{
+			DefenderCovered:   clean(dc, 0, 500),
+			DefenderUncovered: -clean(du, 0.01, 500),
+			AttackerCovered:   -clean(ac, 0.01, 2000),
+			AttackerUncovered: clean(au, 0.01, 500),
+		}
+		theta := clean(rawTheta, 0, 1)
+		binary, err1 := SolveLP(pf, theta)
+		three, err2 := SolveNSignal(pf, theta, 3)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(three.DefenderUtility-binary.DefenderUtility) < 1e-5*(1+math.Abs(binary.DefenderUtility))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

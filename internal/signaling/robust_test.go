@@ -1,0 +1,177 @@
+package signaling
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/auditgames/sag/internal/payoff"
+)
+
+func TestRobustZeroMarginEqualsOSSP(t *testing.T) {
+	for id := 1; id <= 7; id++ {
+		pf := payoff.Table2()[id]
+		for _, theta := range []float64{0, 0.05, 0.1, 0.3, 0.7, 1} {
+			exact, err := Solve(pf, theta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			robust, err := SolveRobust(pf, theta, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(exact.DefenderUtility-robust.DefenderUtility) > 1e-9 {
+				t.Fatalf("type %d θ=%g: ε=0 robust %g vs exact %g",
+					id, theta, robust.DefenderUtility, exact.DefenderUtility)
+			}
+		}
+	}
+}
+
+func TestRobustMatchesLPAcrossMargins(t *testing.T) {
+	pf := payoff.Table2()[1]
+	for _, eps := range []float64{0, 10, 50, 150, 399} {
+		for _, theta := range []float64{0, 0.05, 0.1, 0.166, 0.3, 0.8} {
+			cf, err := SolveRobust(pf, theta, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lps, err := SolveRobustLP(pf, theta, eps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(cf.DefenderUtility-lps.DefenderUtility) > 1e-5 {
+				t.Fatalf("ε=%g θ=%g: closed form %g vs LP %g",
+					eps, theta, cf.DefenderUtility, lps.DefenderUtility)
+			}
+		}
+	}
+}
+
+func TestRobustMarginMonotone(t *testing.T) {
+	// Hardening the persuasion constraint can only cost the auditor.
+	pf := payoff.Table2()[1]
+	theta := 0.1
+	prev := math.Inf(1)
+	for _, eps := range []float64{0, 20, 50, 100, 200, 390} {
+		s, err := SolveRobust(pf, theta, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.DefenderUtility > prev+1e-9 {
+			t.Fatalf("ε=%g: utility %g increased from %g", eps, s.DefenderUtility, prev)
+		}
+		prev = s.DefenderUtility
+	}
+}
+
+func TestRobustMarginPersuasionHolds(t *testing.T) {
+	pf := payoff.Table2()[1]
+	for _, eps := range []float64{0, 25, 100, 350} {
+		s, err := SolveRobust(pf, 0.1, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w := s.P1 + s.Q1; w > 1e-9 {
+			// Conditional warn-branch utility must be ≤ −ε.
+			cond := (s.P1*pf.AttackerCovered + s.Q1*pf.AttackerUncovered) / w
+			if cond > -eps+1e-6 {
+				t.Fatalf("ε=%g: conditional warn utility %g > −ε", eps, cond)
+			}
+		}
+		total := s.P1 + s.Q1 + s.P0 + s.Q0
+		if math.Abs(total-1) > 1e-7 {
+			t.Fatalf("ε=%g: probabilities sum to %g", eps, total)
+		}
+	}
+}
+
+func TestRobustHugeMarginDegeneratesToSilent(t *testing.T) {
+	pf := payoff.Table2()[1] // U_ac = −2000
+	s, err := SolveRobust(pf, 0.1, 2500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.P1 != 0 || s.Q1 != 0 {
+		t.Fatalf("margin beyond |U_ac| should produce a silent-only scheme: %+v", s)
+	}
+	// Silent-only at θ=0.1 equals the plain SSE value.
+	want := pf.DefenderExpected(0.1)
+	if math.Abs(s.DefenderUtility-want) > 1e-9 {
+		t.Fatalf("degenerate utility %g, want SSE %g", s.DefenderUtility, want)
+	}
+}
+
+func TestRobustHugeMarginDeterredCase(t *testing.T) {
+	// θ above the deterrence threshold with an unpersuadable margin: the
+	// silent commitment alone deters, utilities 0.
+	pf := payoff.Table2()[1]
+	s, err := SolveRobust(pf, 0.5, 2500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Deterred || s.DefenderUtility != 0 {
+		t.Fatalf("want deterred zero-utility scheme, got %+v", s)
+	}
+}
+
+func TestRobustValidation(t *testing.T) {
+	pf := payoff.Table2()[1]
+	if _, err := SolveRobust(pf, -0.1, 1); err == nil {
+		t.Error("bad theta should be rejected")
+	}
+	if _, err := SolveRobust(pf, 0.1, -1); err == nil {
+		t.Error("negative margin should be rejected")
+	}
+	if _, err := SolveRobust(pf, 0.1, math.Inf(1)); err == nil {
+		t.Error("infinite margin should be rejected")
+	}
+	if _, err := SolveRobust(payoff.Payoff{}, 0.1, 1); err == nil {
+		t.Error("invalid payoff should be rejected")
+	}
+	if _, err := SolveRobustLP(pf, 2, 1); err == nil {
+		t.Error("LP path should validate theta too")
+	}
+}
+
+func TestRobustnessPremium(t *testing.T) {
+	pf := payoff.Table2()[1]
+	p0, err := RobustnessPremium(pf, 0.1, 0)
+	if err != nil || math.Abs(p0) > 1e-9 {
+		t.Fatalf("zero-margin premium = %g, %v", p0, err)
+	}
+	p100, err := RobustnessPremium(pf, 0.1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p100 < 0 {
+		t.Fatalf("premium must be nonnegative, got %g", p100)
+	}
+	p300, err := RobustnessPremium(pf, 0.1, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p300 < p100-1e-9 {
+		t.Fatalf("premium should grow with the margin: ε=100 → %g, ε=300 → %g", p100, p300)
+	}
+}
+
+func TestQuickRobustNeverAboveExact(t *testing.T) {
+	prop := func(rawTheta, rawEps float64, id uint8) bool {
+		theta := math.Mod(math.Abs(rawTheta), 1)
+		eps := math.Mod(math.Abs(rawEps), 500)
+		if math.IsNaN(theta) || math.IsNaN(eps) {
+			return true
+		}
+		pf := payoff.Table2()[1+int(id)%7]
+		exact, err1 := Solve(pf, theta)
+		robust, err2 := SolveRobust(pf, theta, eps)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return robust.DefenderUtility <= exact.DefenderUtility+1e-7
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

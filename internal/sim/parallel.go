@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// RunGroupsParallel evaluates the groups concurrently across at most
+// workers goroutines (≤ 0 selects GOMAXPROCS) and returns results in input
+// order. Each group's evaluation is fully independent — its engines, RNG
+// streams, and rollback state are per-group — so the output is identical
+// to RunGroups for the same configuration.
+func (r *Runner) RunGroupsParallel(gs []Group, workers int) ([]*DayResult, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(gs) {
+		workers = len(gs)
+	}
+	if len(gs) == 0 {
+		return nil, nil
+	}
+
+	results := make([]*DayResult, len(gs))
+	errs := make([]error, len(gs))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i], errs[i] = r.RunGroup(gs[i])
+			}
+		}()
+	}
+	for i := range gs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sim: group %d (%+v): %w", i, gs[i], err)
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestParallelMatchesSerial(t *testing.T) {
+	ds := syntheticDataset(2, 10, 25)
+	inst, err := Table1Instance([]int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(ds, Config{Instance: inst, Budget: 5, RollbackThreshold: 4, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := Groups(10, 7)
+	serial, err := r.RunGroups(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := r.RunGroupsParallel(groups, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("lengths differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i].OfflineSSE != parallel[i].OfflineSSE {
+			t.Fatalf("group %d offline differs", i)
+		}
+		if len(serial[i].Outcomes) != len(parallel[i].Outcomes) {
+			t.Fatalf("group %d outcome counts differ", i)
+		}
+		for j := range serial[i].Outcomes {
+			if serial[i].Outcomes[j] != parallel[i].Outcomes[j] {
+				t.Fatalf("group %d alert %d differs between serial and parallel", i, j)
+			}
+		}
+	}
+}
+
+func TestParallelEdgeCases(t *testing.T) {
+	ds := syntheticDataset(1, 6, 5)
+	inst, err := Table1Instance([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(ds, Config{Instance: inst, Budget: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty group list.
+	if res, err := r.RunGroupsParallel(nil, 4); err != nil || res != nil {
+		t.Fatalf("empty groups: %v, %v", res, err)
+	}
+	// More workers than groups; workers <= 0 auto-selects.
+	for _, w := range []int{-1, 0, 1, 100} {
+		res, err := r.RunGroupsParallel(Groups(6, 4), w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if len(res) != 2 {
+			t.Fatalf("workers=%d: %d results, want 2", w, len(res))
+		}
+	}
+	// Errors propagate with group context.
+	if _, err := r.RunGroupsParallel([]Group{{Start: 0, HistoryDays: 99}}, 2); err == nil {
+		t.Fatal("out-of-range group should error")
+	}
+}

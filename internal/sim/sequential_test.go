@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRunSequentialMatchesGroupedSSE(t *testing.T) {
+	// The SSE baseline is fully deterministic, so the sequential runner
+	// (sliding window + engine reuse via NewCycle) must reproduce the
+	// per-group runner's SSE utilities exactly — a strong end-to-end check
+	// of both the Window estimator and NewCycle.
+	ds := syntheticDataset(2, 10, 25)
+	inst, err := Table1Instance([]int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(ds, Config{Instance: inst, Budget: 5, RollbackThreshold: 4, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grouped, err := r.RunGroups(Groups(10, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sequential, err := r.RunSequential(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grouped) != len(sequential) {
+		t.Fatalf("day counts differ: %d vs %d", len(grouped), len(sequential))
+	}
+	for i := range grouped {
+		if len(grouped[i].Outcomes) != len(sequential[i].Outcomes) {
+			t.Fatalf("day %d: outcome counts differ", i)
+		}
+		for j := range grouped[i].Outcomes {
+			g, s := grouped[i].Outcomes[j], sequential[i].Outcomes[j]
+			if g.OnlineSSE != s.OnlineSSE {
+				t.Fatalf("day %d alert %d: grouped SSE %g vs sequential %g",
+					i, j, g.OnlineSSE, s.OnlineSSE)
+			}
+			if g.Time != s.Time || g.Type != s.Type {
+				t.Fatalf("day %d alert %d: alert identity differs", i, j)
+			}
+		}
+		if grouped[i].OfflineSSE != sequential[i].OfflineSSE {
+			t.Fatalf("day %d: offline SSE differs", i)
+		}
+	}
+}
+
+func TestRunSequentialOSSPShapeHolds(t *testing.T) {
+	ds := syntheticDataset(2, 12, 30)
+	inst, err := Table1Instance([]int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(ds, Config{Instance: inst, Budget: 6, RollbackThreshold: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := r.RunSequential(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("days = %d, want 4", len(results))
+	}
+	for i, res := range results {
+		var ossp, sse float64
+		for _, o := range res.Outcomes {
+			ossp += o.OSSP
+			sse += o.OnlineSSE
+		}
+		n := float64(len(res.Outcomes))
+		if ossp/n < sse/n-1 {
+			t.Fatalf("day %d: mean OSSP %g below mean SSE %g", i, ossp/n, sse/n)
+		}
+		if math.IsNaN(res.OfflineSSE) {
+			t.Fatalf("day %d: NaN offline", i)
+		}
+	}
+}
+
+func TestRunSequentialValidation(t *testing.T) {
+	ds := syntheticDataset(1, 5, 3)
+	inst, err := Table1Instance([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(ds, Config{Instance: inst, Budget: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RunSequential(0); err == nil {
+		t.Error("zero history should be rejected")
+	}
+	if _, err := r.RunSequential(5); err == nil {
+		t.Error("history consuming the whole dataset should be rejected")
+	}
+}

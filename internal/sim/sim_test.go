@@ -1,0 +1,329 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/auditgames/sag/internal/history"
+)
+
+func hour(h float64) time.Duration { return time.Duration(h * float64(time.Hour)) }
+
+// syntheticDataset builds a small deterministic dataset directly (without
+// the EMR pipeline) so runner behavior can be tested quickly: numDays days,
+// each with alerts of the listed types at fixed times.
+func syntheticDataset(numTypes, numDays, perDay int) *Dataset {
+	ds := &Dataset{NumTypes: numTypes}
+	for i := 0; i < numTypes; i++ {
+		ds.TypeIDs = append(ds.TypeIDs, i+1)
+	}
+	for d := 0; d < numDays; d++ {
+		var day []TimedAlert
+		for i := 0; i < perDay; i++ {
+			day = append(day, TimedAlert{
+				Type: (d + i) % numTypes,
+				Time: hour(8) + time.Duration(i)*30*time.Minute,
+			})
+		}
+		ds.Days = append(ds.Days, day)
+	}
+	return ds
+}
+
+func TestGroupsConstruction(t *testing.T) {
+	gs := Groups(56, 41)
+	if len(gs) != 15 {
+		t.Fatalf("Groups(56,41) yields %d groups, want 15 (the paper's count)", len(gs))
+	}
+	if gs[0].Start != 0 || gs[0].TestDay() != 41 {
+		t.Fatalf("first group %+v", gs[0])
+	}
+	if gs[14].Start != 14 || gs[14].TestDay() != 55 {
+		t.Fatalf("last group %+v", gs[14])
+	}
+	if got := Groups(10, 20); got != nil {
+		t.Fatalf("history longer than data should yield no groups, got %v", got)
+	}
+}
+
+func TestDatasetHelpers(t *testing.T) {
+	ds := syntheticDataset(2, 3, 4)
+	if ds.NumDays() != 3 {
+		t.Fatalf("NumDays = %d", ds.NumDays())
+	}
+	counts := ds.DayCounts(0)
+	if counts[0]+counts[1] != 4 {
+		t.Fatalf("DayCounts(0) = %v", counts)
+	}
+	recs := ds.Records(0, 2)
+	if len(recs) != 8 {
+		t.Fatalf("Records(0,2) has %d entries, want 8", len(recs))
+	}
+	for _, r := range recs {
+		if r.Day < 0 || r.Day > 1 {
+			t.Fatalf("record day %d not renumbered", r.Day)
+		}
+	}
+}
+
+func TestNewRunnerValidation(t *testing.T) {
+	ds := syntheticDataset(2, 5, 3)
+	inst2, err := Table1Instance([]int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst1, err := Table1Instance([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRunner(nil, Config{Instance: inst2}); err == nil {
+		t.Error("nil dataset should be rejected")
+	}
+	if _, err := NewRunner(ds, Config{}); err == nil {
+		t.Error("nil instance should be rejected")
+	}
+	if _, err := NewRunner(ds, Config{Instance: inst1}); err == nil {
+		t.Error("type-count mismatch should be rejected")
+	}
+	if _, err := NewRunner(ds, Config{Instance: inst2, Budget: -1}); err == nil {
+		t.Error("negative budget should be rejected")
+	}
+}
+
+func TestTable1Instance(t *testing.T) {
+	inst, err := Table1Instance(AllTable1TypeIDs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.NumTypes() != 7 {
+		t.Fatalf("NumTypes = %d", inst.NumTypes())
+	}
+	if inst.AuditCosts[3] != 1 {
+		t.Fatal("audit costs should be uniform 1")
+	}
+	if _, err := Table1Instance([]int{0}); err == nil {
+		t.Error("type 0 should be rejected")
+	}
+	if _, err := Table1Instance([]int{8}); err == nil {
+		t.Error("type 8 should be rejected")
+	}
+}
+
+func TestRunGroupBasicProperties(t *testing.T) {
+	ds := syntheticDataset(2, 12, 30)
+	inst, err := Table1Instance([]int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(ds, Config{
+		Instance:          inst,
+		Budget:            5,
+		RollbackThreshold: history.DefaultRollbackThreshold,
+		Seed:              1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Group{Start: 0, HistoryDays: 10}
+	res, err := r.RunGroup(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) != len(ds.Days[g.TestDay()]) {
+		t.Fatalf("outcomes %d, want %d", len(res.Outcomes), len(ds.Days[g.TestDay()]))
+	}
+	// The two engines evolve their budgets on different stochastic
+	// trajectories, so OSSP dominance is exact only at equal game state
+	// (tested in internal/core); across trajectories allow trajectory
+	// noise per alert and require dominance of the means.
+	var meanOSSP, meanSSE float64
+	for i, o := range res.Outcomes {
+		if o.OSSP < o.OnlineSSE-0.05*math.Abs(o.OnlineSSE)-5 {
+			t.Fatalf("alert %d: OSSP %g far below online SSE %g", i, o.OSSP, o.OnlineSSE)
+		}
+		meanOSSP += o.OSSP
+		meanSSE += o.OnlineSSE
+	}
+	n := float64(len(res.Outcomes))
+	if meanOSSP/n < meanSSE/n-1 {
+		t.Fatalf("mean OSSP %g below mean SSE %g", meanOSSP/n, meanSSE/n)
+	}
+	if res.OSSPSummary.Alerts != len(res.Outcomes) || res.SSESummary.Alerts != len(res.Outcomes) {
+		t.Fatal("summaries should count every alert")
+	}
+}
+
+func TestRunGroupRangeChecks(t *testing.T) {
+	ds := syntheticDataset(1, 5, 3)
+	inst, err := Table1Instance([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(ds, Config{Instance: inst, Budget: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []Group{
+		{Start: -1, HistoryDays: 2},
+		{Start: 0, HistoryDays: 0},
+		{Start: 3, HistoryDays: 2}, // test day == 5, out of range
+	}
+	for _, g := range bad {
+		if _, err := r.RunGroup(g); err == nil {
+			t.Errorf("group %+v should be rejected", g)
+		}
+	}
+}
+
+func TestRunGroupsDeterministic(t *testing.T) {
+	run := func() []*DayResult {
+		ds := syntheticDataset(2, 8, 20)
+		inst, err := Table1Instance([]int{1, 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewRunner(ds, Config{Instance: inst, Budget: 4, RollbackThreshold: 4, Seed: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := r.RunGroups(Groups(8, 6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic group count")
+	}
+	for i := range a {
+		if len(a[i].Outcomes) != len(b[i].Outcomes) {
+			t.Fatalf("group %d: outcome counts differ", i)
+		}
+		for j := range a[i].Outcomes {
+			if a[i].Outcomes[j] != b[i].Outcomes[j] {
+				t.Fatalf("group %d alert %d differs across runs", i, j)
+			}
+		}
+		if a[i].OfflineSSE != b[i].OfflineSSE {
+			t.Fatalf("group %d offline SSE differs", i)
+		}
+	}
+}
+
+func TestOfflineSSEConstantAndDominated(t *testing.T) {
+	// With ample in-day knowledge the online policies should beat or match
+	// the offline baseline on average (the paper's headline ordering).
+	ds := syntheticDataset(2, 10, 24)
+	inst, err := Table1Instance([]int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(ds, Config{Instance: inst, Budget: 6, RollbackThreshold: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.RunGroup(Group{Start: 0, HistoryDays: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meanOSSP float64
+	for _, o := range res.Outcomes {
+		meanOSSP += o.OSSP
+	}
+	meanOSSP /= float64(len(res.Outcomes))
+	if meanOSSP < res.OfflineSSE-1e-7 {
+		t.Fatalf("mean OSSP %g below offline SSE %g", meanOSSP, res.OfflineSSE)
+	}
+}
+
+func TestBuildDatasetValidation(t *testing.T) {
+	if _, err := BuildDataset(nil, nil, 1, []int{1}); err == nil {
+		t.Error("nil generator/engine should be rejected")
+	}
+}
+
+func TestEndToEndPipelineSmall(t *testing.T) {
+	ds, err := BuildTable1Pipeline(PipelineConfig{
+		Seed:             13,
+		Days:             8,
+		BackgroundPerDay: 50,
+		PairsPerKind:     20,
+		WorldEmployees:   30,
+		WorldPatients:    100,
+	}, AllTable1TypeIDs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumDays() != 8 || ds.NumTypes != 7 {
+		t.Fatalf("dataset %d days, %d types", ds.NumDays(), ds.NumTypes)
+	}
+	// Every day should carry alerts of several types.
+	nonEmpty := 0
+	for d := 0; d < ds.NumDays(); d++ {
+		if len(ds.Days[d]) > 100 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty != 8 {
+		t.Fatalf("only %d days carry a realistic alert volume", nonEmpty)
+	}
+
+	inst, err := Table1Instance(AllTable1TypeIDs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(ds, Config{Instance: inst, Budget: 50, RollbackThreshold: 4, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.RunGroup(Group{Start: 0, HistoryDays: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) == 0 {
+		t.Fatal("test day produced no outcomes")
+	}
+	var meanOSSP, meanSSE float64
+	for i, o := range res.Outcomes {
+		if o.OSSP < o.OnlineSSE-0.05*math.Abs(o.OnlineSSE)-5 {
+			t.Fatalf("alert %d: OSSP %g far below SSE %g", i, o.OSSP, o.OnlineSSE)
+		}
+		if math.IsNaN(o.OSSP) || math.IsNaN(o.OnlineSSE) {
+			t.Fatalf("alert %d: NaN utility", i)
+		}
+		meanOSSP += o.OSSP
+		meanSSE += o.OnlineSSE
+	}
+	n := float64(len(res.Outcomes))
+	if meanOSSP/n < meanSSE/n-1 {
+		t.Fatalf("mean OSSP %g below mean SSE %g", meanOSSP/n, meanSSE/n)
+	}
+}
+
+func TestSingleTypePipeline(t *testing.T) {
+	ds, err := BuildTable1Pipeline(PipelineConfig{
+		Seed:             3,
+		Days:             6,
+		BackgroundPerDay: 20,
+		PairsPerKind:     15,
+		WorldEmployees:   20,
+		WorldPatients:    60,
+	}, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumTypes != 1 {
+		t.Fatalf("NumTypes = %d, want 1", ds.NumTypes)
+	}
+	// Single-type days should average near Table 1's 196.57.
+	total := 0
+	for d := 0; d < ds.NumDays(); d++ {
+		total += len(ds.Days[d])
+	}
+	mean := float64(total) / float64(ds.NumDays())
+	if mean < 150 || mean > 250 {
+		t.Fatalf("single-type daily mean %g far from 196.57", mean)
+	}
+}
