@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 
 	"github.com/auditgames/sag/internal/alerts"
 	"github.com/auditgames/sag/internal/emr"
@@ -41,6 +42,7 @@ func main() {
 func run() error {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
+		debugAddr = flag.String("debug-addr", "", "optional debug listen address serving net/http/pprof and /metrics (e.g. localhost:6060)")
 		budget    = flag.Float64("budget", 50, "audit budget for the current cycle")
 		seed      = flag.Int64("seed", 2017, "world/engine seed")
 		histDays  = flag.Int("history", 41, "days of simulated history to fit arrival curves on")
@@ -108,9 +110,28 @@ func run() error {
 		return err
 	}
 
+	if *debugAddr != "" {
+		// Side listener for operators: pprof profiles plus a second mount of
+		// the Prometheus registry, so profiling traffic never competes with
+		// the decision path on the main listener.
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dbg.Handle("/metrics", srv.Metrics().Handler())
+		go func() {
+			log.Printf("debug listener (pprof, /metrics) on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dbg); err != nil {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+	}
+
 	fmt.Printf("sagserver listening on %s (budget %g, %d alert types)\n", *addr, *budget, len(typeIDs))
 	fmt.Println("  POST /v1/access {employee_id, patient_id} → {alert, warn, ...}")
 	fmt.Println("  POST /v1/quit {employee_id}")
-	fmt.Println("  POST /v1/cycle/close {} · POST /v1/cycle/new {budget} · GET /v1/status")
+	fmt.Println("  POST /v1/cycle/close {} · POST /v1/cycle/new {budget} · GET /v1/status · GET /v1/metrics")
 	return http.ListenAndServe(*addr, srv.Handler())
 }

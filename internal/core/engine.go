@@ -28,6 +28,7 @@ import (
 
 	"github.com/auditgames/sag/internal/dist"
 	"github.com/auditgames/sag/internal/game"
+	"github.com/auditgames/sag/internal/obs"
 	"github.com/auditgames/sag/internal/signaling"
 )
 
@@ -92,6 +93,12 @@ type Config struct {
 	// UseLPSignaling forces the general LP (3) solver even when the closed
 	// form applies; used by the ablation benches and as a cross-check.
 	UseLPSignaling bool
+	// Metrics, when non-nil, receives the engine's instrumentation:
+	// per-stage solve latencies, vacuous-game and Theorem-3-fallback
+	// counters, simplex effort, and the remaining-budget gauge (see the
+	// Metric* constants). A nil registry disables collection with
+	// near-zero overhead.
+	Metrics *obs.Registry
 	// AttackerTypes, when non-empty, switches the signaling stage to the
 	// Bayesian SAG: the attacker's covered/uncovered utilities are private,
 	// drawn from this prior (see signaling.SolveBayesian). The Stackelberg
@@ -155,6 +162,7 @@ type Engine struct {
 	budget    float64
 	initial   float64
 	decisions []Decision
+	met       engineMetrics
 }
 
 // NewEngine validates cfg and returns a ready Engine.
@@ -174,7 +182,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.Policy == PolicyOSSP && cfg.Rand == nil {
 		return nil, errors.New("core: Config.Rand is required for PolicyOSSP (signal sampling)")
 	}
-	return &Engine{
+	e := &Engine{
 		inst:    cfg.Instance,
 		est:     cfg.Estimator,
 		policy:  cfg.Policy,
@@ -183,7 +191,10 @@ func NewEngine(cfg Config) (*Engine, error) {
 		bayes:   append([]signaling.AttackerType(nil), cfg.AttackerTypes...),
 		budget:  cfg.Budget,
 		initial: cfg.Budget,
-	}, nil
+		met:     newEngineMetrics(cfg.Metrics, cfg.Policy),
+	}
+	e.met.budget.Set(e.budget)
+	return e, nil
 }
 
 // RemainingBudget returns the budget left for the rest of the cycle.
@@ -201,6 +212,7 @@ func (e *Engine) NewCycle(budget float64) error {
 	e.budget = budget
 	e.initial = budget
 	e.decisions = e.decisions[:0]
+	e.met.budget.Set(budget)
 	if r, ok := e.est.(interface{ Reset() }); ok {
 		r.Reset()
 	}
@@ -218,6 +230,10 @@ func (e *Engine) Decisions() []Decision { return e.decisions }
 // (under PolicyOSSP), charges the budget, and appends + returns the
 // Decision.
 func (e *Engine) Process(a Alert) (*Decision, error) {
+	var t0 time.Time
+	if e.met.enabled {
+		t0 = time.Now()
+	}
 	d, err := e.decide(a)
 	if err != nil {
 		return nil, err
@@ -239,6 +255,11 @@ func (e *Engine) Process(a Alert) (*Decision, error) {
 	d.BudgetAfter = math.Max(0, e.budget-d.AuditCharge*V)
 	e.budget = d.BudgetAfter
 	e.decisions = append(e.decisions, *d)
+	if e.met.enabled {
+		e.met.decision.ObserveSince(t0)
+		e.met.decisions.Inc()
+		e.met.budget.Set(e.budget)
+	}
 	return &e.decisions[len(e.decisions)-1], nil
 }
 
@@ -253,6 +274,10 @@ func (e *Engine) Preview(a Alert) (*Decision, error) {
 func (e *Engine) decide(a Alert) (*Decision, error) {
 	if a.Type < 0 || a.Type >= e.inst.NumTypes() {
 		return nil, fmt.Errorf("core: alert type %d out of range [0,%d)", a.Type, e.inst.NumTypes())
+	}
+	var t0 time.Time
+	if e.met.enabled {
+		t0 = time.Now()
 	}
 	rates, err := e.est.FutureRates(a.Time)
 	if err != nil {
@@ -269,10 +294,18 @@ func (e *Engine) decide(a Alert) (*Decision, error) {
 		}
 		futures[i] = p
 	}
+	if e.met.enabled {
+		e.met.stageEstimate.ObserveSince(t0)
+		t0 = time.Now()
+	}
 
 	sse, err := game.SolveOnlineSSE(e.inst, e.budget, futures)
 	if err != nil {
 		return nil, fmt.Errorf("core: online SSE: %w", err)
+	}
+	if e.met.enabled {
+		e.met.stageSSE.ObserveSince(t0)
+		e.met.recordSSE(sse.Stats)
 	}
 
 	d := &Decision{
@@ -285,6 +318,7 @@ func (e *Engine) decide(a Alert) (*Decision, error) {
 		// Degenerate game: nothing is attackable. Utilities are zero and no
 		// budget should be spent.
 		d.Vacuous = true
+		e.met.vacuous.Inc()
 		return d, nil
 	}
 	d.Theta = sse.Coverage[a.Type]
@@ -296,6 +330,9 @@ func (e *Engine) decide(a Alert) (*Decision, error) {
 		return d, nil
 	}
 
+	if e.met.enabled {
+		t0 = time.Now()
+	}
 	pf := e.inst.Payoffs[a.Type]
 	var scheme signaling.Scheme
 	switch {
@@ -309,12 +346,18 @@ func (e *Engine) decide(a Alert) (*Decision, error) {
 		}
 		scheme = bayesianToScheme(b, e.bayes)
 	case e.useLP || !pf.SatisfiesTheorem3():
+		if !pf.SatisfiesTheorem3() {
+			e.met.fallback.Inc()
+		}
 		scheme, err = signaling.SolveLP(pf, d.Theta)
 	default:
 		scheme, err = signaling.Solve(pf, d.Theta)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("core: OSSP: %w", err)
+	}
+	if e.met.enabled {
+		e.met.stageSignal.ObserveSince(t0)
 	}
 	d.Scheme = scheme
 	if d.AppliedSAG {

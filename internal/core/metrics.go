@@ -1,0 +1,81 @@
+package core
+
+import (
+	"github.com/auditgames/sag/internal/game"
+	"github.com/auditgames/sag/internal/obs"
+)
+
+// Engine metric names, exported so operators and tests share one spelling.
+const (
+	// MetricStageSeconds is a histogram of per-stage decision latency,
+	// labeled stage=estimate|sse|signal.
+	MetricStageSeconds = "sag_engine_stage_seconds"
+	// MetricDecisionSeconds is a histogram of whole-decision latency
+	// (all stages of one Process call).
+	MetricDecisionSeconds = "sag_engine_decision_seconds"
+	// MetricDecisionsTotal counts committed decisions, labeled by policy.
+	MetricDecisionsTotal = "sag_engine_decisions_total"
+	// MetricVacuousTotal counts decisions where no type was attackable.
+	MetricVacuousTotal = "sag_engine_vacuous_total"
+	// MetricTheorem3FallbackTotal counts alerts whose payoffs violated the
+	// Theorem 3 condition, forcing the general LP (3) signaling solver.
+	MetricTheorem3FallbackTotal = "sag_engine_theorem3_fallback_total"
+	// MetricBudgetRemaining is a gauge of the cycle's remaining budget.
+	MetricBudgetRemaining = "sag_engine_budget_remaining"
+	// MetricLPSolvesTotal counts candidate LPs solved by the SSE stage.
+	MetricLPSolvesTotal = "sag_engine_lp_solves_total"
+	// MetricSimplexIterationsTotal counts simplex iterations across those
+	// LPs; MetricSimplexPivotsTotal counts tableau pivots (iterations plus
+	// phase-transition drive-out pivots).
+	MetricSimplexIterationsTotal = "sag_engine_simplex_iterations_total"
+	MetricSimplexPivotsTotal     = "sag_engine_simplex_pivots_total"
+)
+
+// engineMetrics holds the engine's pre-resolved instruments. The zero value
+// (enabled=false, all instruments nil) disables collection: every record
+// call is a nil-receiver no-op and the hot path skips its time.Now() calls.
+type engineMetrics struct {
+	enabled       bool
+	stageEstimate *obs.Histogram
+	stageSSE      *obs.Histogram
+	stageSignal   *obs.Histogram
+	decision      *obs.Histogram
+	decisions     *obs.Counter
+	vacuous       *obs.Counter
+	fallback      *obs.Counter
+	budget        *obs.Gauge
+	lpSolves      *obs.Counter
+	simplexIters  *obs.Counter
+	simplexPivots *obs.Counter
+}
+
+func newEngineMetrics(reg *obs.Registry, policy Policy) engineMetrics {
+	if reg == nil {
+		return engineMetrics{}
+	}
+	const stageHelp = "Per-stage SAG decision latency in seconds."
+	return engineMetrics{
+		enabled:       true,
+		stageEstimate: reg.Histogram(MetricStageSeconds, stageHelp, obs.DefTimeBuckets, obs.L("stage", "estimate")),
+		stageSSE:      reg.Histogram(MetricStageSeconds, stageHelp, obs.DefTimeBuckets, obs.L("stage", "sse")),
+		stageSignal:   reg.Histogram(MetricStageSeconds, stageHelp, obs.DefTimeBuckets, obs.L("stage", "signal")),
+		decision:      reg.Histogram(MetricDecisionSeconds, "Whole-decision SAG latency in seconds.", obs.DefTimeBuckets),
+		decisions:     reg.Counter(MetricDecisionsTotal, "Committed engine decisions.", obs.L("policy", policy.String())),
+		vacuous:       reg.Counter(MetricVacuousTotal, "Decisions where no alert type was attackable."),
+		fallback:      reg.Counter(MetricTheorem3FallbackTotal, "Alerts solved via LP (3) because the Theorem 3 closed form did not apply."),
+		budget:        reg.Gauge(MetricBudgetRemaining, "Remaining audit budget for the current cycle."),
+		lpSolves:      reg.Counter(MetricLPSolvesTotal, "Candidate LPs solved by the online SSE stage."),
+		simplexIters:  reg.Counter(MetricSimplexIterationsTotal, "Simplex iterations across all candidate LPs."),
+		simplexPivots: reg.Counter(MetricSimplexPivotsTotal, "Simplex tableau pivots across all candidate LPs."),
+	}
+}
+
+// recordSSE charges one SSE solve's LP effort to the counters.
+func (m *engineMetrics) recordSSE(stats game.SolveStats) {
+	if !m.enabled {
+		return
+	}
+	m.lpSolves.Add(uint64(stats.LPSolves))
+	m.simplexIters.Add(uint64(stats.Simplex.Iterations()))
+	m.simplexPivots.Add(uint64(stats.Simplex.Pivots))
+}

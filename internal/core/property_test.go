@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/auditgames/sag/internal/game"
+	"github.com/auditgames/sag/internal/obs"
+	"github.com/auditgames/sag/internal/payoff"
+)
+
+// randomPayoff draws a payoff satisfying the paper's sign conventions.
+// Roughly a third of draws violate the Theorem 3 condition, so both the
+// closed-form and LP signaling paths are exercised.
+func randomPayoff(rng *rand.Rand) payoff.Payoff {
+	p := payoff.Payoff{
+		DefenderCovered:   rng.Float64() * 700,
+		DefenderUncovered: -(10 + rng.Float64()*2000),
+		AttackerCovered:   -(10 + rng.Float64()*6000),
+		AttackerUncovered: 10 + rng.Float64()*800,
+	}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// TestPropertyTheorems is the randomized engine invariant check of the
+// paper's Theorems 1 and 2: across random instances, budgets, and alert
+// streams, every non-vacuous OSSP decision must (a) never do worse than the
+// no-signaling SSE (OSSPUtility ≥ SSEUtility − ε, Theorem 2) and (b) carry
+// a signaling scheme whose marginal audit probability equals the SSE
+// marginal θ of the alert's type (Theorem 1).
+//
+// Trials run across goroutines sharing one metrics registry, so under
+// `go test -race` this doubles as the race canary for engine+obs.
+func TestPropertyTheorems(t *testing.T) {
+	const trials = 48
+	seeds := make([]int64, trials)
+	root := rand.New(rand.NewSource(20200406)) // fixed seed: reproducible
+	for i := range seeds {
+		seeds[i] = root.Int63()
+	}
+
+	reg := obs.NewRegistry()
+	var wg sync.WaitGroup
+	errs := make(chan error, trials)
+	for _, seed := range seeds {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			if err := runTheoremTrial(seed, reg); err != nil {
+				errs <- err
+			}
+		}(seed)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The shared registry must have seen every committed decision.
+	snap := reg.Snapshot()
+	if got := snap.Counters[obs.Key(MetricDecisionsTotal, obs.L("policy", "OSSP"))]; got == 0 {
+		t.Fatal("shared registry recorded no decisions")
+	}
+}
+
+func runTheoremTrial(seed int64, reg *obs.Registry) (err error) {
+	rng := rand.New(rand.NewSource(seed))
+	numTypes := 1 + rng.Intn(5)
+	pays := make([]payoff.Payoff, numTypes)
+	costs := make([]float64, numTypes)
+	for i := range pays {
+		pays[i] = randomPayoff(rng)
+		costs[i] = 0.5 + rng.Float64()*2.5
+	}
+	inst, err := game.NewInstance(pays, costs)
+	if err != nil {
+		return err
+	}
+	rates := make([]float64, numTypes)
+	for i := range rates {
+		if rng.Float64() < 0.15 {
+			rates[i] = 0 // exercise the unattackable-type path
+		} else {
+			rates[i] = rng.Float64() * 40
+		}
+	}
+	eng, err := NewEngine(Config{
+		Instance:  inst,
+		Budget:    rng.Float64() * 60,
+		Estimator: EstimatorFunc(func(time.Duration) ([]float64, error) { return rates, nil }),
+		Policy:    PolicyOSSP,
+		Rand:      rand.New(rand.NewSource(seed ^ 0x5a6)),
+		Metrics:   reg,
+	})
+	if err != nil {
+		return err
+	}
+
+	for i := 0; i < 12; i++ {
+		a := Alert{Type: rng.Intn(numTypes), Time: time.Duration(i) * 10 * time.Minute}
+		d, err := eng.Process(a)
+		if err != nil {
+			return err
+		}
+		if d.Vacuous {
+			continue
+		}
+		// Theorem 2: signaling never hurts. ε covers LP tolerance at the
+		// payoff magnitudes drawn above.
+		eps := 1e-6 * (1 + math.Abs(d.SSEUtility))
+		if d.OSSPUtility < d.SSEUtility-eps {
+			return trialErr(seed, i, "Theorem 2 violated: OSSP %g < SSE %g", d.OSSPUtility, d.SSEUtility)
+		}
+		// Theorem 1: the scheme's marginal audit probability is θ (and the
+		// scheme is a valid joint distribution).
+		if err := d.Scheme.Validate(d.Theta); err != nil {
+			return trialErr(seed, i, "Theorem 1 violated: %v", err)
+		}
+		if d.BudgetAfter > d.BudgetBefore {
+			return trialErr(seed, i, "budget grew: %g -> %g", d.BudgetBefore, d.BudgetAfter)
+		}
+	}
+	return nil
+}
+
+func trialErr(seed int64, alert int, format string, args ...any) error {
+	return fmt.Errorf("trial seed %d, alert %d: %s", seed, alert, fmt.Sprintf(format, args...))
+}

@@ -121,11 +121,19 @@ func TestRuntimeWellUnderPaperBudget(t *testing.T) {
 		if r.Mean > 20*time.Millisecond {
 			t.Errorf("%s: mean %v exceeds the paper's 20ms", r.Setting, r.Mean)
 		}
+		if r.LPSolves == 0 || r.SimplexIterations == 0 {
+			t.Errorf("%s: solver stats empty (LPs=%d iters=%d)", r.Setting, r.LPSolves, r.SimplexIterations)
+		}
+		if r.SimplexPivots < r.SimplexIterations {
+			t.Errorf("%s: pivots %d < iterations %d", r.Setting, r.SimplexPivots, r.SimplexIterations)
+		}
 	}
 	var buf bytes.Buffer
 	RenderRuntime(&buf, reps)
-	if !strings.Contains(buf.String(), "mean") {
-		t.Error("runtime render incomplete")
+	for _, col := range []string{"mean", "LPs", "simplex", "pivots"} {
+		if !strings.Contains(buf.String(), col) {
+			t.Errorf("runtime render missing %q column", col)
+		}
 	}
 }
 

@@ -22,6 +22,13 @@ type RuntimeReport struct {
 	Mean        time.Duration
 	Max         time.Duration
 	PaperMeanMS float64
+	// Solver effort accumulated across all alerts: the number of candidate
+	// LPs solved by the multiple-LP Stackelberg method, and the simplex
+	// iterations/pivots spent inside them. These explain where the latency
+	// above goes.
+	LPSolves          int
+	SimplexIterations int
+	SimplexPivots     int
 }
 
 // Runtime measures the mean and worst per-alert decision latency of the
@@ -68,10 +75,16 @@ func Runtime(scale Scale) ([]RuntimeReport, error) {
 		rep := RuntimeReport{Setting: s.name, PaperMeanMS: 20}
 		for _, a := range day {
 			start := time.Now()
-			if _, err := eng.Process(core.Alert{Type: a.Type, Time: a.Time}); err != nil {
+			d, err := eng.Process(core.Alert{Type: a.Type, Time: a.Time})
+			if err != nil {
 				return nil, err
 			}
 			el := time.Since(start)
+			if d.SSE != nil {
+				rep.LPSolves += d.SSE.Stats.LPSolves
+				rep.SimplexIterations += d.SSE.Stats.Simplex.Iterations()
+				rep.SimplexPivots += d.SSE.Stats.Simplex.Pivots
+			}
 			rep.Total += el
 			if el > rep.Max {
 				rep.Max = el
@@ -89,8 +102,10 @@ func Runtime(scale Scale) ([]RuntimeReport, error) {
 // RenderRuntime writes the latency table.
 func RenderRuntime(w io.Writer, reps []RuntimeReport) {
 	fmt.Fprintln(w, "Runtime — per-alert SAG optimization latency (paper: ≈20 ms/alert)")
-	fmt.Fprintf(w, "%-40s %8s %12s %12s\n", "setting", "alerts", "mean", "max")
+	fmt.Fprintf(w, "%-40s %8s %12s %12s %9s %10s %8s\n",
+		"setting", "alerts", "mean", "max", "LPs", "simplex", "pivots")
 	for _, r := range reps {
-		fmt.Fprintf(w, "%-40s %8d %12s %12s\n", r.Setting, r.Alerts, r.Mean, r.Max)
+		fmt.Fprintf(w, "%-40s %8d %12s %12s %9d %10d %8d\n",
+			r.Setting, r.Alerts, r.Mean, r.Max, r.LPSolves, r.SimplexIterations, r.SimplexPivots)
 	}
 }

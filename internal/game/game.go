@@ -99,6 +99,24 @@ type Result struct {
 	// in the winning LP: the marginal auditor utility of one more unit of
 	// audit budget at this game state (0 when budget is not binding).
 	BudgetShadowPrice float64
+	// Stats aggregates simplex effort across every candidate LP of this
+	// multiple-LP solve (feasible and infeasible alike) — the per-decision
+	// solver cost the engine exports as counters.
+	Stats SolveStats
+}
+
+// SolveStats itemizes the LP work behind one SSE solve.
+type SolveStats struct {
+	// LPSolves counts candidate LPs solved (one per attackable type).
+	LPSolves int
+	// Simplex accumulates iteration and pivot counts across those LPs.
+	Simplex lp.Stats
+}
+
+// Accumulate adds o into s, for callers aggregating across many solves.
+func (s *SolveStats) Accumulate(o SolveStats) {
+	s.LPSolves += o.LPSolves
+	s.Simplex.Accumulate(o.Simplex)
 }
 
 // SolveOnlineSSE computes the online SSE given the remaining audit budget
@@ -171,14 +189,17 @@ func solveSSE(inst *Instance, budget float64, coeffs []float64, attackable []boo
 
 	best := (*Result)(nil)
 	feasible := make([]bool, k)
+	var stats SolveStats
 	for t := 0; t < k; t++ {
 		if !attackable[t] {
 			continue
 		}
-		res, ok, err := solveCandidate(inst, budget, coeffs, attackable, t)
+		res, lpStats, ok, err := solveCandidate(inst, budget, coeffs, attackable, t)
 		if err != nil {
 			return nil, err
 		}
+		stats.LPSolves++
+		stats.Simplex.Accumulate(lpStats)
 		feasible[t] = ok
 		if !ok {
 			continue
@@ -193,12 +214,13 @@ func solveSSE(inst *Instance, budget float64, coeffs []float64, attackable []boo
 		return nil, fmt.Errorf("game: no feasible best-response candidate (internal invariant violated)")
 	}
 	best.CandidateFeasible = feasible
+	best.Stats = stats
 	return best, nil
 }
 
 // solveCandidate solves LP (2) assuming alert type t is the attacker's best
 // response. Variables are the budget allocations B^0..B^{k-1}.
-func solveCandidate(inst *Instance, budget float64, coeffs []float64, attackable []bool, t int) (*Result, bool, error) {
+func solveCandidate(inst *Instance, budget float64, coeffs []float64, attackable []bool, t int) (*Result, lp.Stats, bool, error) {
 	k := inst.NumTypes()
 	prob := lp.New(lp.Maximize, k)
 
@@ -213,7 +235,7 @@ func solveCandidate(inst *Instance, budget float64, coeffs []float64, attackable
 	obj := make([]float64, k)
 	obj[t] = slope[t] * (pt.DefenderCovered - pt.DefenderUncovered)
 	if err := prob.SetObjective(obj); err != nil {
-		return nil, false, err
+		return nil, lp.Stats{}, false, err
 	}
 
 	// Bounds: B^j ∈ [0, V^j/coeffs[j]] keeps θ^j ≤ 1 (and ≤ budget
@@ -224,7 +246,7 @@ func solveCandidate(inst *Instance, budget float64, coeffs []float64, attackable
 			hi = cap
 		}
 		if err := prob.SetBounds(j, 0, hi); err != nil {
-			return nil, false, err
+			return nil, lp.Stats{}, false, err
 		}
 	}
 
@@ -241,7 +263,7 @@ func solveCandidate(inst *Instance, budget float64, coeffs []float64, attackable
 		row[j] = -slope[j] * (pj.AttackerCovered - pj.AttackerUncovered)
 		rhs := pj.AttackerUncovered - pt.AttackerUncovered
 		if err := prob.AddConstraint(row, lp.GE, rhs); err != nil {
-			return nil, false, err
+			return nil, lp.Stats{}, false, err
 		}
 	}
 
@@ -251,15 +273,15 @@ func solveCandidate(inst *Instance, budget float64, coeffs []float64, attackable
 		ones[j] = 1
 	}
 	if err := prob.AddConstraint(ones, lp.LE, budget); err != nil {
-		return nil, false, err
+		return nil, lp.Stats{}, false, err
 	}
 
 	sol, err := lp.Solve(prob)
 	if err != nil {
-		return nil, false, err
+		return nil, lp.Stats{}, false, err
 	}
 	if sol.Status != lp.Optimal {
-		return nil, false, nil
+		return nil, sol.Stats, false, nil
 	}
 
 	cov := make([]float64, k)
@@ -277,7 +299,7 @@ func solveCandidate(inst *Instance, budget float64, coeffs []float64, attackable
 	if n := len(sol.Duals); n > 0 {
 		res.BudgetShadowPrice = sol.Duals[n-1]
 	}
-	return res, true, nil
+	return res, sol.Stats, true, nil
 }
 
 func clamp01(x float64) float64 {

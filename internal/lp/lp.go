@@ -212,8 +212,32 @@ type Solution struct {
 	// Only populated when Status == Optimal.
 	Duals []float64
 	// Iterations counts simplex pivots across both phases; exposed for
-	// benchmarking and regression tests.
+	// benchmarking and regression tests. Equal to Stats.Iterations().
 	Iterations int
+	// Stats breaks solver effort down by phase for observability callers.
+	Stats Stats
+}
+
+// Stats itemizes the work one Solve call performed. The engine aggregates
+// these into its simplex counters; sagbench prints them next to timings.
+type Stats struct {
+	// Phase1Iterations and Phase2Iterations count simplex iterations in the
+	// feasibility and optimization phases respectively.
+	Phase1Iterations int
+	Phase2Iterations int
+	// Pivots counts full tableau pivot eliminations, including the
+	// drive-out pivots between phases that the iteration counts exclude.
+	Pivots int
+}
+
+// Iterations returns the total simplex iterations across both phases.
+func (s Stats) Iterations() int { return s.Phase1Iterations + s.Phase2Iterations }
+
+// Accumulate adds o's effort into s (for aggregating across many solves).
+func (s *Stats) Accumulate(o Stats) {
+	s.Phase1Iterations += o.Phase1Iterations
+	s.Phase2Iterations += o.Phase2Iterations
+	s.Pivots += o.Pivots
 }
 
 // feasTol is the feasibility/optimality tolerance used throughout the

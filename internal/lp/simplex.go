@@ -23,16 +23,18 @@ func Solve(p *Problem) (*Solution, error) {
 
 	// Phase 1: minimize the sum of artificial variables to find a basic
 	// feasible solution.
-	iters := 0
+	var stats Stats
 	if tab.numArt > 0 {
 		tab.loadPhase1Costs()
 		n, status := tab.iterate()
-		iters += n
+		stats.Phase1Iterations = n
 		if status == iterLimit {
+			stats.Pivots = tab.pivots
 			return nil, ErrNumerical
 		}
 		if tab.objValue() > 1e-7 {
-			return &Solution{Status: Infeasible, Iterations: iters}, nil
+			stats.Pivots = tab.pivots
+			return &Solution{Status: Infeasible, Iterations: stats.Iterations(), Stats: stats}, nil
 		}
 		tab.driveOutArtificials()
 	}
@@ -40,12 +42,13 @@ func Solve(p *Problem) (*Solution, error) {
 	// Phase 2: minimize the (converted) true objective.
 	tab.loadPhase2Costs(std.c)
 	n, status := tab.iterate()
-	iters += n
+	stats.Phase2Iterations = n
+	stats.Pivots = tab.pivots
 	switch status {
 	case iterLimit:
 		return nil, ErrNumerical
 	case unboundedIter:
-		return &Solution{Status: Unbounded, Iterations: iters}, nil
+		return &Solution{Status: Unbounded, Iterations: stats.Iterations(), Stats: stats}, nil
 	}
 
 	y := tab.extract()
@@ -58,7 +61,7 @@ func Solve(p *Problem) (*Solution, error) {
 			duals[i] = -duals[i]
 		}
 	}
-	return &Solution{Status: Optimal, X: x, Objective: obj, Duals: duals, Iterations: iters}, nil
+	return &Solution{Status: Optimal, X: x, Objective: obj, Duals: duals, Iterations: stats.Iterations(), Stats: stats}, nil
 }
 
 // standardForm is a minimization problem over nonnegative variables y with
@@ -204,6 +207,7 @@ type tableau struct {
 	costRHS  float64   // negative of current objective value
 	basis    []int     // basic column per row
 	banned   []bool    // columns that may never re-enter (artificials in phase 2)
+	pivots   int       // full pivot eliminations performed (all phases + drive-out)
 	// dualCol/dualSign recover the dual value of row i from the reduced
 	// cost of its marker column: y_i = dualSign[i] · cost[dualCol[i]]
 	// (in the internal minimization orientation, before rhs-normalization
@@ -425,6 +429,7 @@ func (t *tableau) chooseLeaving(j int) int {
 
 // pivot makes column j basic in row i with full-row elimination.
 func (t *tableau) pivot(i, j int) {
+	t.pivots++
 	piv := t.rows[i][j]
 	inv := 1.0 / piv
 	row := t.rows[i]

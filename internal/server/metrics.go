@@ -1,0 +1,89 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/auditgames/sag/internal/obs"
+)
+
+// Server metric names. The engine's sag_engine_* and sag_simplex family
+// land in the same registry (see core.Metric*), so one /v1/metrics scrape
+// covers the whole decide/commit pipeline.
+const (
+	// MetricHTTPRequestsTotal counts requests by route and status code.
+	MetricHTTPRequestsTotal = "sag_http_requests_total"
+	// MetricHTTPRequestSeconds is a latency histogram by route.
+	MetricHTTPRequestSeconds = "sag_http_request_seconds"
+	// MetricAccessesTotal / MetricAlertsTotal / MetricWarnedTotal /
+	// MetricQuitsTotal are cumulative service counters. Unlike the
+	// /v1/status snapshot they do NOT reset on cycle rollover — Prometheus
+	// counters are forever-cumulative by convention and rates are taken
+	// with range queries.
+	MetricAccessesTotal = "sag_server_accesses_total"
+	MetricAlertsTotal   = "sag_server_alerts_total"
+	MetricWarnedTotal   = "sag_server_warned_total"
+	MetricQuitsTotal    = "sag_server_quits_total"
+	// MetricFlaggedUsers gauges the number of currently flagged employees.
+	MetricFlaggedUsers = "sag_server_flagged_users"
+)
+
+// serverMetrics holds the server's pre-resolved instruments. All fields are
+// non-nil: the server always owns a registry (its own when the caller
+// supplied none) so that GET /v1/metrics is always live.
+type serverMetrics struct {
+	reg      *obs.Registry
+	accesses *obs.Counter
+	alerts   *obs.Counter
+	warned   *obs.Counter
+	quits    *obs.Counter
+	flagged  *obs.Gauge
+}
+
+func newServerMetrics(reg *obs.Registry) serverMetrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return serverMetrics{
+		reg:      reg,
+		accesses: reg.Counter(MetricAccessesTotal, "Access requests evaluated."),
+		alerts:   reg.Counter(MetricAlertsTotal, "Accesses on which a detection rule fired."),
+		warned:   reg.Counter(MetricWarnedTotal, "Accesses answered with a warning."),
+		quits:    reg.Counter(MetricQuitsTotal, "Warned accesses reported abandoned."),
+		flagged:  reg.Gauge(MetricFlaggedUsers, "Employees currently flagged as quitters."),
+	}
+}
+
+// statusRecorder captures the response code written by a handler (200 when
+// the handler never calls WriteHeader explicitly).
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a route handler with request counting and latency
+// observation. The route label is the mount pattern's path, so cardinality
+// stays bounded by the route table.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
+	lat := s.met.reg.Histogram(MetricHTTPRequestSeconds,
+		"HTTP request latency in seconds by route.", obs.DefTimeBuckets, obs.L("route", route))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		lat.ObserveSince(t0)
+		s.met.reg.Counter(MetricHTTPRequestsTotal, "HTTP requests by route and status code.",
+			obs.L("route", route), obs.L("code", strconv.Itoa(rec.code))).Inc()
+	})
+}
+
+// Metrics returns the server's registry — the one /v1/metrics serves —
+// so embedders (e.g. cmd/sagserver's debug listener) can export or extend
+// the same instrument set.
+func (s *Server) Metrics() *obs.Registry { return s.met.reg }

@@ -11,6 +11,7 @@
 //	POST /v1/cycle/close   — sample and return the retrospective audit plan
 //	POST /v1/cycle/new     — start the next audit cycle with a fresh budget
 //	GET  /v1/status        — budget, counts, and configuration snapshot
+//	GET  /v1/metrics       — Prometheus text exposition (HTTP + engine + solver)
 //
 // The server serializes all engine access through a mutex: the engine is
 // deliberately single-threaded per audit cycle (decisions are order-
@@ -31,6 +32,7 @@ import (
 	"github.com/auditgames/sag/internal/core"
 	"github.com/auditgames/sag/internal/emr"
 	"github.com/auditgames/sag/internal/game"
+	"github.com/auditgames/sag/internal/obs"
 )
 
 // Config assembles a Server.
@@ -50,6 +52,10 @@ type Config struct {
 	// Clock returns the current offset within the audit cycle; defaults to
 	// wall-clock time-of-day. Tests inject a fake.
 	Clock func() time.Duration
+	// Metrics, when non-nil, is the registry served by GET /v1/metrics and
+	// shared with the game engine. When nil the server creates a private
+	// registry, so the endpoint is always live.
+	Metrics *obs.Registry
 }
 
 // Server is the HTTP facade. Create with New and mount via Handler.
@@ -58,6 +64,7 @@ type Server struct {
 	detector *alerts.Engine
 	engine   *core.Engine
 	cfg      Config
+	met      serverMetrics
 	typeIdx  map[int]int // taxonomy ID → engine index
 	flagged  map[int]bool
 	accesses int
@@ -81,12 +88,14 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	met := newServerMetrics(cfg.Metrics)
 	engine, err := core.NewEngine(core.Config{
 		Instance:  cfg.Instance,
 		Budget:    cfg.Budget,
 		Estimator: cfg.Estimator,
 		Policy:    core.PolicyOSSP,
 		Rand:      rand.New(rand.NewSource(cfg.Seed)),
+		Metrics:   met.reg,
 	})
 	if err != nil {
 		return nil, err
@@ -110,6 +119,7 @@ func New(cfg Config) (*Server, error) {
 		detector: detector,
 		engine:   engine,
 		cfg:      cfg,
+		met:      met,
 		typeIdx:  idx,
 		flagged:  make(map[int]bool),
 	}, nil
@@ -169,14 +179,17 @@ type Status struct {
 	NumTypes        int     `json:"num_types"`
 }
 
-// Handler returns the HTTP handler with all routes mounted.
+// Handler returns the HTTP handler with all routes mounted. Every route is
+// wrapped in the metrics middleware (request count by status, latency
+// histogram); /v1/metrics serves the shared registry.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/access", s.handleAccess)
-	mux.HandleFunc("POST /v1/quit", s.handleQuit)
-	mux.HandleFunc("POST /v1/cycle/close", s.handleClose)
-	mux.HandleFunc("POST /v1/cycle/new", s.handleNewCycle)
-	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	mux.Handle("POST /v1/access", s.instrument("/v1/access", s.handleAccess))
+	mux.Handle("POST /v1/quit", s.instrument("/v1/quit", s.handleQuit))
+	mux.Handle("POST /v1/cycle/close", s.instrument("/v1/cycle/close", s.handleClose))
+	mux.Handle("POST /v1/cycle/new", s.instrument("/v1/cycle/new", s.handleNewCycle))
+	mux.Handle("GET /v1/status", s.instrument("/v1/status", s.handleStatus))
+	mux.Handle("GET /v1/metrics", s.met.reg.Handler())
 	return mux
 }
 
@@ -199,6 +212,7 @@ func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.accesses++
+	s.met.accesses.Inc()
 
 	now := s.cfg.Clock()
 	alert, fired, err := s.detector.Evaluate(emr.AccessEvent{
@@ -216,6 +230,7 @@ func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.alerts++
+	s.met.alerts.Inc()
 	resp.Alert = true
 	resp.TypeID = alert.Type
 	resp.Rules = alert.Rules.String()
@@ -226,6 +241,7 @@ func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request) {
 		resp.Warn = true
 		resp.Flagged = true
 		s.warned++
+		s.met.warned.Inc()
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
@@ -245,6 +261,7 @@ func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request) {
 	resp.RemainingBudget = d.BudgetAfter
 	if d.Warned {
 		s.warned++
+		s.met.warned.Inc()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -262,7 +279,9 @@ func (s *Server) handleQuit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.quits++
+	s.met.quits.Inc()
 	s.flagged[req.EmployeeID] = true
+	s.met.flagged.Set(float64(len(s.flagged)))
 	writeJSON(w, http.StatusOK, struct {
 		Flagged bool `json:"flagged"`
 	}{Flagged: true})
@@ -288,7 +307,9 @@ func (s *Server) handleNewCycle(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
 	}
-	s.accesses, s.alerts, s.warned = 0, 0, 0
+	// Reset every per-cycle counter. Flagged users deliberately survive the
+	// rollover: a quit reveals the requester for good (paper §4).
+	s.accesses, s.alerts, s.warned, s.quits = 0, 0, 0, 0
 	writeJSON(w, http.StatusOK, struct {
 		Budget float64 `json:"budget"`
 	}{Budget: req.Budget})

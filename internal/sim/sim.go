@@ -22,7 +22,22 @@ import (
 	"github.com/auditgames/sag/internal/emr"
 	"github.com/auditgames/sag/internal/game"
 	"github.com/auditgames/sag/internal/history"
+	"github.com/auditgames/sag/internal/obs"
 	"github.com/auditgames/sag/internal/payoff"
+)
+
+// Simulation metric names (see Config.Metrics).
+const (
+	// MetricGroupSeconds is a histogram of wall-clock time per replication
+	// (one RunGroup call: both online engines over one test day).
+	MetricGroupSeconds = "sag_sim_group_seconds"
+	// MetricGroupAlertsPerSecond is a histogram of per-replication
+	// throughput in alerts/second.
+	MetricGroupAlertsPerSecond = "sag_sim_group_alerts_per_second"
+	// MetricAlertsTotal counts alerts replayed across all replications.
+	MetricAlertsTotal = "sag_sim_alerts_total"
+	// MetricGroupsTotal counts completed replications.
+	MetricGroupsTotal = "sag_sim_groups_total"
 )
 
 // TimedAlert is one alert of a modeled type within a day, with its type
@@ -143,6 +158,10 @@ type Config struct {
 	Seed int64
 	// UseLPSignaling routes OSSP through LP (3) instead of the closed form.
 	UseLPSignaling bool
+	// Metrics, when non-nil, receives per-replication throughput
+	// instrumentation (see the Metric* constants). Instruments are
+	// atomic, so RunGroupsParallel replications share them safely.
+	Metrics *obs.Registry
 }
 
 // AlertOutcome is the per-alert score triple of Figures 2–3.
@@ -172,6 +191,13 @@ type DayResult struct {
 type Runner struct {
 	ds  *Dataset
 	cfg Config
+
+	// Pre-resolved instruments (nil when Config.Metrics is nil; every
+	// record call is then a no-op).
+	groupSeconds *obs.Histogram
+	groupRate    *obs.Histogram
+	alertsTotal  *obs.Counter
+	groupsTotal  *obs.Counter
 }
 
 // NewRunner validates inputs and builds a Runner.
@@ -188,7 +214,19 @@ func NewRunner(ds *Dataset, cfg Config) (*Runner, error) {
 	if cfg.Budget < 0 {
 		return nil, fmt.Errorf("sim: negative budget %g", cfg.Budget)
 	}
-	return &Runner{ds: ds, cfg: cfg}, nil
+	reg := cfg.Metrics
+	return &Runner{
+		ds:  ds,
+		cfg: cfg,
+		groupSeconds: reg.Histogram(MetricGroupSeconds,
+			"Wall-clock seconds per replication (one group's test day).",
+			obs.ExponentialBuckets(0.01, 2, 13)),
+		groupRate: reg.Histogram(MetricGroupAlertsPerSecond,
+			"Per-replication throughput in alerts/second.",
+			obs.ExponentialBuckets(8, 2, 13)),
+		alertsTotal: reg.Counter(MetricAlertsTotal, "Alerts replayed across all replications."),
+		groupsTotal: reg.Counter(MetricGroupsTotal, "Completed replications."),
+	}, nil
 }
 
 // RunGroup replays one group's test day under OSSP, online SSE, and the
@@ -196,6 +234,10 @@ func NewRunner(ds *Dataset, cfg Config) (*Runner, error) {
 func (r *Runner) RunGroup(g Group) (*DayResult, error) {
 	if g.Start < 0 || g.HistoryDays <= 0 || g.TestDay() >= r.ds.NumDays() {
 		return nil, fmt.Errorf("sim: group %+v out of dataset range (%d days)", g, r.ds.NumDays())
+	}
+	var t0 time.Time
+	if r.groupSeconds.Enabled() {
+		t0 = time.Now()
 	}
 	recs := r.ds.Records(g.Start, g.HistoryDays)
 	curves, err := history.NewCurves(recs, r.ds.NumTypes, g.HistoryDays)
@@ -269,6 +311,15 @@ func (r *Runner) RunGroup(g Group) (*DayResult, error) {
 	res.OfflineSSE = offline.DefenderUtility
 	res.OSSPSummary = osspEng.Summary()
 	res.SSESummary = sseEng.Summary()
+	if r.groupSeconds.Enabled() {
+		elapsed := time.Since(t0)
+		r.groupSeconds.Observe(elapsed.Seconds())
+		r.groupsTotal.Inc()
+		r.alertsTotal.Add(uint64(len(testDay)))
+		if s := elapsed.Seconds(); s > 0 {
+			r.groupRate.Observe(float64(len(testDay)) / s)
+		}
+	}
 	return res, nil
 }
 
