@@ -1,0 +1,151 @@
+// Command benchgate compares two Go benchmark text outputs and fails when
+// any benchmark present in both regressed by more than the allowed factor.
+// It is the enforcement half of the CI bench job: benchstat renders the
+// human-readable comparison, benchgate turns ">20% slower per decision"
+// into a red build.
+//
+// Usage:
+//
+//	go test -bench=BenchmarkOSSPDecision -count=6 ./... > pr.txt
+//	git worktree add /tmp/base <merge-base> && (cd /tmp/base && go test ... > base.txt)
+//	benchgate -base base.txt -pr pr.txt -max-regression 0.20
+//
+// Benchmarks are matched by name with the trailing -<GOMAXPROCS> suffix
+// stripped; repeated runs (-count > 1) are averaged. A missing or empty
+// base file passes (first run on a new branch has nothing to compare), as
+// do benchmarks present on only one side.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	var (
+		basePath = flag.String("base", "", "benchmark output of the merge base")
+		prPath   = flag.String("pr", "", "benchmark output of the candidate change")
+		maxReg   = flag.Float64("max-regression", 0.20, "maximum allowed fractional ns/op increase")
+		match    = flag.String("match", "", "optional regexp restricting which benchmarks are gated")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *basePath, *prPath, *maxReg, *match); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, basePath, prPath string, maxReg float64, match string) error {
+	if prPath == "" {
+		return fmt.Errorf("-pr is required")
+	}
+	var filter *regexp.Regexp
+	if match != "" {
+		var err error
+		if filter, err = regexp.Compile(match); err != nil {
+			return fmt.Errorf("bad -match: %w", err)
+		}
+	}
+	pr, err := parseFile(prPath)
+	if err != nil {
+		return err
+	}
+	base, err := parseFile(basePath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Fprintf(w, "no base file %q — nothing to gate\n", basePath)
+			return nil
+		}
+		return err
+	}
+	if len(base) == 0 {
+		fmt.Fprintln(w, "empty base — nothing to gate")
+		return nil
+	}
+
+	var failures []string
+	for name, b := range base {
+		p, ok := pr[name]
+		if !ok || (filter != nil && !filter.MatchString(name)) {
+			continue
+		}
+		delta := p.mean()/b.mean() - 1
+		verdict := "ok"
+		if delta > maxReg {
+			verdict = "FAIL"
+			failures = append(failures, name)
+		}
+		fmt.Fprintf(w, "%-50s %12.0f → %12.0f ns/op  %+6.1f%%  %s\n",
+			name, b.mean(), p.mean(), 100*delta, verdict)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%%: %s",
+			len(failures), 100*maxReg, strings.Join(failures, ", "))
+	}
+	fmt.Fprintf(w, "all gated benchmarks within %.0f%% of base\n", 100*maxReg)
+	return nil
+}
+
+// sample accumulates the ns/op values of one benchmark across -count runs.
+type sample struct {
+	sum float64
+	n   int
+}
+
+func (s sample) mean() float64 { return s.sum / float64(s.n) }
+
+// gomaxprocsSuffix strips the trailing -<digits> procs suffix Go appends to
+// benchmark names, so runs on machines with different core counts compare.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func parseFile(path string) (map[string]sample, error) {
+	if path == "" {
+		return nil, os.ErrNotExist
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parse(f)
+}
+
+// parse reads Go benchmark text format: lines of
+//
+//	BenchmarkName-8   	     200	     71041 ns/op	 [extra metrics...]
+//
+// ignoring everything else (headers, PASS/ok lines, benchstat noise).
+func parse(r io.Reader) (map[string]sample, error) {
+	out := make(map[string]sample)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// fields: name, iterations, value, "ns/op", ...
+		if fields[3] != "ns/op" {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+		s := out[name]
+		s.sum += v
+		s.n++
+		out[name] = s
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

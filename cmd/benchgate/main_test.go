@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const baseOut = `goos: linux
+goarch: amd64
+pkg: github.com/auditgames/sag
+BenchmarkOSSPDecision-4         	     200	     60000 ns/op
+BenchmarkOSSPDecision-4         	     200	     64000 ns/op
+BenchmarkOSSPDecisionCached-4   	    1000	      2000 ns/op	        96.50 hit%
+BenchmarkOnlyInBase-4           	     100	      1000 ns/op
+PASS
+ok  	github.com/auditgames/sag	2.0s
+`
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseAveragesRepeatedRuns(t *testing.T) {
+	got, err := parse(strings.NewReader(baseOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := got["BenchmarkOSSPDecision"]
+	if !ok {
+		t.Fatalf("missing benchmark (procs suffix not stripped?): %v", got)
+	}
+	if d.n != 2 || d.mean() != 62000 {
+		t.Fatalf("mean over repeats = %g of %d runs, want 62000 of 2", d.mean(), d.n)
+	}
+	if c := got["BenchmarkOSSPDecisionCached"]; c.mean() != 2000 {
+		t.Fatalf("cached mean %g, want 2000 (extra metrics must not confuse the parser)", c.mean())
+	}
+}
+
+func TestGatePassesWithinThreshold(t *testing.T) {
+	dir := t.TempDir()
+	base := write(t, dir, "base.txt", baseOut)
+	pr := write(t, dir, "pr.txt",
+		"BenchmarkOSSPDecision-8 200 68000 ns/op\nBenchmarkOnlyInPR-8 10 999999 ns/op\n")
+	var buf bytes.Buffer
+	if err := run(&buf, base, pr, 0.20, ""); err != nil {
+		t.Fatalf("within-threshold comparison failed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "ok") {
+		t.Fatalf("no verdict printed:\n%s", buf.String())
+	}
+	// Benchmarks on only one side must not be compared.
+	for _, absent := range []string{"OnlyInBase", "OnlyInPR"} {
+		if strings.Contains(buf.String(), absent+" ") {
+			t.Fatalf("one-sided benchmark %s was gated:\n%s", absent, buf.String())
+		}
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := write(t, dir, "base.txt", baseOut)
+	pr := write(t, dir, "pr.txt", "BenchmarkOSSPDecision-4 200 90000 ns/op\n")
+	var buf bytes.Buffer
+	err := run(&buf, base, pr, 0.20, "")
+	if err == nil {
+		t.Fatalf("45%% regression passed the 20%% gate:\n%s", buf.String())
+	}
+	if !strings.Contains(err.Error(), "BenchmarkOSSPDecision") {
+		t.Fatalf("failure does not name the regressed benchmark: %v", err)
+	}
+}
+
+func TestGateMatchFilter(t *testing.T) {
+	dir := t.TempDir()
+	base := write(t, dir, "base.txt", baseOut)
+	pr := write(t, dir, "pr.txt",
+		"BenchmarkOSSPDecision-4 200 61000 ns/op\nBenchmarkOSSPDecisionCached-4 1000 9000 ns/op\n")
+	// Unfiltered, the cached benchmark's 4.5x regression fails the gate...
+	if err := run(&bytes.Buffer{}, base, pr, 0.20, ""); err == nil {
+		t.Fatal("cached regression slipped through without a filter")
+	}
+	// ...but a filter on the uncached benchmark ignores it.
+	if err := run(&bytes.Buffer{}, base, pr, 0.20, `^BenchmarkOSSPDecision$`); err != nil {
+		t.Fatalf("filtered gate failed: %v", err)
+	}
+}
+
+func TestGateToleratesMissingOrEmptyBase(t *testing.T) {
+	dir := t.TempDir()
+	pr := write(t, dir, "pr.txt", "BenchmarkOSSPDecision-4 200 60000 ns/op\n")
+	var buf bytes.Buffer
+	if err := run(&buf, filepath.Join(dir, "nope.txt"), pr, 0.20, ""); err != nil {
+		t.Fatalf("missing base must pass: %v", err)
+	}
+	empty := write(t, dir, "empty.txt", "PASS\n")
+	if err := run(&buf, empty, pr, 0.20, ""); err != nil {
+		t.Fatalf("empty base must pass: %v", err)
+	}
+	if err := run(&buf, empty, filepath.Join(dir, "also-nope.txt"), 0.20, ""); err == nil {
+		t.Fatal("missing PR file must fail")
+	}
+}

@@ -1,0 +1,50 @@
+// Command benchtext converts `go test -json` (test2json) output back into
+// the plain benchmark text format benchstat and benchgate consume. The CI
+// bench job records the full JSON stream as the BENCH_pr artifact and uses
+// this tool to recover the text view for comparison.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// event is the subset of test2json's record the conversion needs.
+type event struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtext:", err)
+		os.Exit(1)
+	}
+}
+
+func run(r io.Reader, w io.Writer) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	out := bufio.NewWriter(w)
+	defer out.Flush()
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			// Tolerate interleaved non-JSON noise (panics, build output).
+			continue
+		}
+		if ev.Action == "output" {
+			if _, err := io.WriteString(out, ev.Output); err != nil {
+				return err
+			}
+		}
+	}
+	return sc.Err()
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunExtractsOutputEvents(t *testing.T) {
+	in := strings.Join([]string{
+		`{"Action":"start","Package":"github.com/auditgames/sag"}`,
+		`{"Action":"output","Package":"github.com/auditgames/sag","Output":"goos: linux\n"}`,
+		`{"Action":"output","Package":"github.com/auditgames/sag","Output":"BenchmarkOSSPDecision-4   \t     200\t     71041 ns/op\n"}`,
+		`not json at all`,
+		`{"Action":"pass","Package":"github.com/auditgames/sag"}`,
+		``,
+	}, "\n")
+	var out bytes.Buffer
+	if err := run(strings.NewReader(in), &out); err != nil {
+		t.Fatal(err)
+	}
+	want := "goos: linux\nBenchmarkOSSPDecision-4   \t     200\t     71041 ns/op\n"
+	if out.String() != want {
+		t.Fatalf("got %q, want %q", out.String(), want)
+	}
+}
+
+func TestRoundTripThroughBenchgateFormat(t *testing.T) {
+	// The reconstructed text must be parseable as benchmark lines: field 0
+	// starts with Benchmark, field 3 is ns/op.
+	in := `{"Action":"output","Output":"BenchmarkX-8 100 500 ns/op 3 allocs/op\n"}`
+	var out bytes.Buffer
+	if err := run(strings.NewReader(in), &out); err != nil {
+		t.Fatal(err)
+	}
+	fields := strings.Fields(out.String())
+	if len(fields) < 4 || fields[3] != "ns/op" {
+		t.Fatalf("reconstructed line not in benchmark format: %q", out.String())
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"net/http/pprof"
 
 	"github.com/auditgames/sag/internal/alerts"
+	"github.com/auditgames/sag/internal/core"
 	"github.com/auditgames/sag/internal/emr"
 	"github.com/auditgames/sag/internal/history"
 	"github.com/auditgames/sag/internal/server"
@@ -48,6 +49,10 @@ func run() error {
 		histDays  = flag.Int("history", 41, "days of simulated history to fit arrival curves on")
 		employees = flag.Int("employees", 400, "background employees in the synthetic world")
 		patients  = flag.Int("patients", 2000, "background patients in the synthetic world")
+
+		cacheSize    = flag.Int("cache-size", 0, "decision-cache capacity (0 disables caching)")
+		cacheBudgetQ = flag.Float64("cache-budget-quantum", 0, "budget bucket width for cache keys (0 = exact)")
+		cacheRateQ   = flag.Float64("cache-rate-quantum", 0, "future-rate bucket width for cache keys (0 = exact)")
 	)
 	flag.Parse()
 
@@ -105,6 +110,11 @@ func run() error {
 		Budget:    *budget,
 		Estimator: rollback,
 		Seed:      *seed,
+		Cache: core.CacheConfig{
+			Size:          *cacheSize,
+			BudgetQuantum: *cacheBudgetQ,
+			RateQuantum:   *cacheRateQ,
+		},
 	})
 	if err != nil {
 		return err

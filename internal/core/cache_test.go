@@ -1,0 +1,237 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/auditgames/sag/internal/game"
+	"github.com/auditgames/sag/internal/obs"
+	"github.com/auditgames/sag/internal/payoff"
+)
+
+func cachedEngine(t *testing.T, cache CacheConfig, reg *obs.Registry, seed int64) *Engine {
+	t.Helper()
+	inst, err := game.NewInstance(payoff.Table2Slice()[:3], game.UniformCost(3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(Config{
+		Instance:  inst,
+		Budget:    25,
+		Estimator: constEstimator(40, 25, 10),
+		Policy:    PolicyOSSP,
+		Rand:      rand.New(rand.NewSource(seed)),
+		Cache:     cache,
+		Metrics:   reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestCachedEngineMatchesUncached: with exact (zero) quanta the cached
+// engine's decision stream must be identical to an uncached engine fed the
+// same alerts and the same RNG seed — a hit replays the exact solve.
+func TestCachedEngineMatchesUncached(t *testing.T) {
+	cached := cachedEngine(t, CacheConfig{Size: 64}, nil, 9)
+	plain := cachedEngine(t, CacheConfig{}, nil, 9)
+	for i := 0; i < 12; i++ {
+		a := Alert{Type: i % 3, Time: time.Duration(i) * time.Minute}
+		dc, err := cached.Process(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dp, err := plain.Process(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(dc, dp) {
+			t.Fatalf("alert %d: cached decision diverges\ncached: %+v\nplain:  %+v", i, dc, dp)
+		}
+	}
+	if s := plain.CacheStats(); s != (CacheStats{}) {
+		t.Fatalf("disabled cache reported stats %+v", s)
+	}
+}
+
+// TestCacheHitEqualsFreshSolve: a Preview served from the cache must be
+// field-for-field equal to the Preview that populated it — same engine state,
+// no intervening budget spend.
+func TestCacheHitEqualsFreshSolve(t *testing.T) {
+	eng := cachedEngine(t, CacheConfig{Size: 8}, nil, 1)
+	a := Alert{Type: 1, Time: 5 * time.Minute}
+	fresh, err := eng.Preview(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit, err := eng.Preview(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh, hit) {
+		t.Fatalf("cache hit differs from the solve that filled it\nfresh: %+v\nhit:   %+v", fresh, hit)
+	}
+	s := eng.CacheStats()
+	if s.Hits != 1 || s.Misses != 1 || s.Entries != 1 {
+		t.Fatalf("stats after miss+hit: %+v", s)
+	}
+
+	// A different arrival time with identical rates is the same game state:
+	// it must hit, with the Alert patched to the new arrival.
+	later := Alert{Type: 1, Time: 90 * time.Minute}
+	d, err := eng.Preview(later)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Alert != later {
+		t.Fatalf("hit kept stale alert %+v", d.Alert)
+	}
+	if d.Theta != fresh.Theta || d.OSSPUtility != fresh.OSSPUtility {
+		t.Fatalf("hit at same state changed the decision: %+v vs %+v", d, fresh)
+	}
+	if got := eng.CacheStats().Hits; got != 2 {
+		t.Fatalf("hits = %d, want 2", got)
+	}
+}
+
+// TestCacheQuantizedBudgetHit: with a coarse budget quantum, small budget
+// spends stay in the same bucket and later alerts of the same type hit.
+// With exact matching the spend changes the key, so the same stream misses.
+func TestCacheQuantizedBudgetHit(t *testing.T) {
+	run := func(cfg CacheConfig) CacheStats {
+		eng := cachedEngine(t, cfg, nil, 3)
+		for i := 0; i < 6; i++ {
+			if _, err := eng.Process(Alert{Type: 0, Time: time.Duration(i) * time.Minute}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return eng.CacheStats()
+	}
+	coarse := run(CacheConfig{Size: 16, BudgetQuantum: 1000, RateQuantum: 1})
+	if coarse.Hits != 5 || coarse.Misses != 1 {
+		t.Fatalf("coarse quantum: %+v, want 5 hits / 1 miss", coarse)
+	}
+	exact := run(CacheConfig{Size: 16})
+	if exact.Hits != 0 {
+		t.Fatalf("exact matching across budget spends hit %d times", exact.Hits)
+	}
+}
+
+// TestCacheEviction: a 2-entry cache cycled over 3 distinct states must
+// evict and stay at capacity.
+func TestCacheEviction(t *testing.T) {
+	eng := cachedEngine(t, CacheConfig{Size: 2}, nil, 5)
+	for i := 0; i < 9; i++ {
+		if _, err := eng.Preview(Alert{Type: i % 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := eng.CacheStats()
+	if s.Entries != 2 {
+		t.Fatalf("entries = %d, want capacity 2", s.Entries)
+	}
+	if s.Evictions == 0 {
+		t.Fatal("cycling 3 states through a 2-entry cache must evict")
+	}
+	if s.Hits != 0 {
+		// Round-robin over 3 states in a 2-slot LRU always evicts the next
+		// state to arrive, so every lookup misses.
+		t.Fatalf("hits = %d, want 0 under round-robin thrashing", s.Hits)
+	}
+}
+
+// TestNewCycleClearsCache: NewCycle must drop entries (the estimator state
+// and budget both reset) while keeping cumulative counters.
+func TestNewCycleClearsCache(t *testing.T) {
+	eng := cachedEngine(t, CacheConfig{Size: 8}, nil, 2)
+	if _, err := eng.Preview(Alert{Type: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if s := eng.CacheStats(); s.Entries != 1 {
+		t.Fatalf("entries = %d before NewCycle", s.Entries)
+	}
+	if err := eng.NewCycle(25); err != nil {
+		t.Fatal(err)
+	}
+	s := eng.CacheStats()
+	if s.Entries != 0 {
+		t.Fatalf("entries = %d after NewCycle, want 0", s.Entries)
+	}
+	if s.Misses != 1 {
+		t.Fatalf("cumulative misses lost on NewCycle: %+v", s)
+	}
+	if _, err := eng.Preview(Alert{Type: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if s := eng.CacheStats(); s.Hits != 0 || s.Misses != 2 {
+		t.Fatalf("first lookup after NewCycle must miss: %+v", s)
+	}
+}
+
+// TestCacheMetricsExported: the obs registry view must agree with
+// CacheStats.
+func TestCacheMetricsExported(t *testing.T) {
+	reg := obs.NewRegistry()
+	eng := cachedEngine(t, CacheConfig{Size: 1}, reg, 4)
+	for i := 0; i < 4; i++ {
+		if _, err := eng.Preview(Alert{Type: i % 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := eng.CacheStats()
+	snap := reg.Snapshot()
+	if got := snap.Counters[MetricCacheHitsTotal]; got != s.Hits {
+		t.Fatalf("hits counter %d != stats %d", got, s.Hits)
+	}
+	if got := snap.Counters[MetricCacheMissesTotal]; got != s.Misses {
+		t.Fatalf("misses counter %d != stats %d", got, s.Misses)
+	}
+	if got := snap.Counters[MetricCacheEvictionsTotal]; got != s.Evictions {
+		t.Fatalf("evictions counter %d != stats %d", got, s.Evictions)
+	}
+	if got := snap.Gauges[MetricCacheEntries]; got != float64(s.Entries) {
+		t.Fatalf("entries gauge %g != stats %d", got, s.Entries)
+	}
+	if s.Evictions == 0 {
+		t.Fatalf("alternating 2 states through a 1-entry cache must evict: %+v", s)
+	}
+}
+
+// TestCacheConfigValidation: invalid quanta are rejected at construction.
+func TestCacheConfigValidation(t *testing.T) {
+	inst, err := game.NewInstance(payoff.Table2Slice()[:1], game.UniformCost(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []CacheConfig{
+		{Size: 4, BudgetQuantum: -1},
+		{Size: 4, RateQuantum: math.NaN()},
+		{Size: 4, BudgetQuantum: math.Inf(1)},
+	} {
+		_, err := NewEngine(Config{
+			Instance:  inst,
+			Budget:    5,
+			Estimator: constEstimator(3),
+			Policy:    PolicyOSSP,
+			Rand:      rand.New(rand.NewSource(1)),
+			Cache:     bad,
+		})
+		if err == nil {
+			t.Fatalf("cache config %+v accepted", bad)
+		}
+	}
+}
+
+// TestCacheHitRate covers the helper's division guard.
+func TestCacheHitRate(t *testing.T) {
+	if r := (CacheStats{}).HitRate(); r != 0 {
+		t.Fatalf("empty hit rate %g", r)
+	}
+	if r := (CacheStats{Hits: 3, Misses: 1}).HitRate(); r != 0.75 {
+		t.Fatalf("hit rate %g, want 0.75", r)
+	}
+}

@@ -99,6 +99,12 @@ type Config struct {
 	// Metric* constants). A nil registry disables collection with
 	// near-zero overhead.
 	Metrics *obs.Registry
+	// Cache enables the per-cycle decision cache: decide() results are
+	// memoized on (alert type, quantized remaining budget, quantized
+	// future-rate vector) so repeated game states skip the LP pipeline.
+	// The zero value disables caching. See CacheConfig for the exactness
+	// trade-off of the quanta.
+	Cache CacheConfig
 	// AttackerTypes, when non-empty, switches the signaling stage to the
 	// Bayesian SAG: the attacker's covered/uncovered utilities are private,
 	// drawn from this prior (see signaling.SolveBayesian). The Stackelberg
@@ -162,6 +168,7 @@ type Engine struct {
 	budget    float64
 	initial   float64
 	decisions []Decision
+	cache     *decisionCache
 	met       engineMetrics
 }
 
@@ -182,6 +189,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.Policy == PolicyOSSP && cfg.Rand == nil {
 		return nil, errors.New("core: Config.Rand is required for PolicyOSSP (signal sampling)")
 	}
+	if err := cfg.Cache.validate(); err != nil {
+		return nil, err
+	}
 	e := &Engine{
 		inst:    cfg.Instance,
 		est:     cfg.Estimator,
@@ -192,6 +202,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 		budget:  cfg.Budget,
 		initial: cfg.Budget,
 		met:     newEngineMetrics(cfg.Metrics, cfg.Policy),
+	}
+	if cfg.Cache.Size > 0 {
+		e.cache = newDecisionCache(cfg.Cache)
 	}
 	e.met.budget.Set(e.budget)
 	return e, nil
@@ -212,6 +225,10 @@ func (e *Engine) NewCycle(budget float64) error {
 	e.budget = budget
 	e.initial = budget
 	e.decisions = e.decisions[:0]
+	if e.cache != nil {
+		e.cache.clear()
+		e.met.cacheEntries.Set(0)
+	}
 	e.met.budget.Set(budget)
 	if r, ok := e.est.(interface{ Reset() }); ok {
 		r.Reset()
@@ -299,6 +316,22 @@ func (e *Engine) decide(a Alert) (*Decision, error) {
 		t0 = time.Now()
 	}
 
+	// The whole remaining pipeline is a pure function of (type, budget,
+	// rates) — alert time enters only through the rates — so a cached
+	// decision at the same (quantized) state stands in for a fresh solve.
+	var cacheKey string
+	if e.cache != nil {
+		cacheKey = e.cache.key(a.Type, e.budget, rates)
+		if hit, ok := e.cache.get(cacheKey); ok {
+			e.met.cacheHits.Inc()
+			hit.Alert = a
+			hit.BudgetBefore = e.budget
+			hit.BudgetAfter = e.budget
+			return &hit, nil
+		}
+		e.met.cacheMisses.Inc()
+	}
+
 	sse, err := game.SolveOnlineSSE(e.inst, e.budget, futures)
 	if err != nil {
 		return nil, fmt.Errorf("core: online SSE: %w", err)
@@ -319,6 +352,7 @@ func (e *Engine) decide(a Alert) (*Decision, error) {
 		// budget should be spent.
 		d.Vacuous = true
 		e.met.vacuous.Inc()
+		e.memoize(cacheKey, d)
 		return d, nil
 	}
 	d.Theta = sse.Coverage[a.Type]
@@ -327,6 +361,7 @@ func (e *Engine) decide(a Alert) (*Decision, error) {
 
 	if e.policy == PolicySSE {
 		d.OSSPUtility = d.SSEUtility
+		e.memoize(cacheKey, d)
 		return d, nil
 	}
 
@@ -368,7 +403,32 @@ func (e *Engine) decide(a Alert) (*Decision, error) {
 		// scored) by the online SSE.
 		d.OSSPUtility = d.SSEUtility
 	}
+	e.memoize(cacheKey, d)
 	return d, nil
+}
+
+// memoize stores a value copy of d under key. The copy is taken before
+// Process commits the sampled fields (Warned, AuditCharge, BudgetAfter), so
+// a later hit re-samples the signal against the same Scheme instead of
+// replaying one draw. The *game.Result pointer is shared between the cached
+// copy and live decisions; it is treated as immutable everywhere.
+func (e *Engine) memoize(key string, d *Decision) {
+	if e.cache == nil {
+		return
+	}
+	if e.cache.put(key, *d) {
+		e.met.cacheEvictions.Inc()
+	}
+	e.met.cacheEntries.Set(float64(e.cache.len()))
+}
+
+// CacheStats returns a snapshot of the decision cache's counters; the zero
+// value when caching is disabled.
+func (e *Engine) CacheStats() CacheStats {
+	if e.cache == nil {
+		return CacheStats{}
+	}
+	return e.cache.stats()
 }
 
 // bayesianToScheme reduces a BayesianScheme to the engine's Scheme record:

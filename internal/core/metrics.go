@@ -29,24 +29,36 @@ const (
 	// phase-transition drive-out pivots).
 	MetricSimplexIterationsTotal = "sag_engine_simplex_iterations_total"
 	MetricSimplexPivotsTotal     = "sag_engine_simplex_pivots_total"
+	// MetricCacheHitsTotal / MetricCacheMissesTotal count decision-cache
+	// lookups that were served from / missed the cache;
+	// MetricCacheEvictionsTotal counts LRU evictions at capacity.
+	MetricCacheHitsTotal      = "sag_engine_cache_hits_total"
+	MetricCacheMissesTotal    = "sag_engine_cache_misses_total"
+	MetricCacheEvictionsTotal = "sag_engine_cache_evictions_total"
+	// MetricCacheEntries is a gauge of the decision cache's current size.
+	MetricCacheEntries = "sag_engine_cache_entries"
 )
 
 // engineMetrics holds the engine's pre-resolved instruments. The zero value
 // (enabled=false, all instruments nil) disables collection: every record
 // call is a nil-receiver no-op and the hot path skips its time.Now() calls.
 type engineMetrics struct {
-	enabled       bool
-	stageEstimate *obs.Histogram
-	stageSSE      *obs.Histogram
-	stageSignal   *obs.Histogram
-	decision      *obs.Histogram
-	decisions     *obs.Counter
-	vacuous       *obs.Counter
-	fallback      *obs.Counter
-	budget        *obs.Gauge
-	lpSolves      *obs.Counter
-	simplexIters  *obs.Counter
-	simplexPivots *obs.Counter
+	enabled        bool
+	stageEstimate  *obs.Histogram
+	stageSSE       *obs.Histogram
+	stageSignal    *obs.Histogram
+	decision       *obs.Histogram
+	decisions      *obs.Counter
+	vacuous        *obs.Counter
+	fallback       *obs.Counter
+	budget         *obs.Gauge
+	lpSolves       *obs.Counter
+	simplexIters   *obs.Counter
+	simplexPivots  *obs.Counter
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	cacheEvictions *obs.Counter
+	cacheEntries   *obs.Gauge
 }
 
 func newEngineMetrics(reg *obs.Registry, policy Policy) engineMetrics {
@@ -55,18 +67,22 @@ func newEngineMetrics(reg *obs.Registry, policy Policy) engineMetrics {
 	}
 	const stageHelp = "Per-stage SAG decision latency in seconds."
 	return engineMetrics{
-		enabled:       true,
-		stageEstimate: reg.Histogram(MetricStageSeconds, stageHelp, obs.DefTimeBuckets, obs.L("stage", "estimate")),
-		stageSSE:      reg.Histogram(MetricStageSeconds, stageHelp, obs.DefTimeBuckets, obs.L("stage", "sse")),
-		stageSignal:   reg.Histogram(MetricStageSeconds, stageHelp, obs.DefTimeBuckets, obs.L("stage", "signal")),
-		decision:      reg.Histogram(MetricDecisionSeconds, "Whole-decision SAG latency in seconds.", obs.DefTimeBuckets),
-		decisions:     reg.Counter(MetricDecisionsTotal, "Committed engine decisions.", obs.L("policy", policy.String())),
-		vacuous:       reg.Counter(MetricVacuousTotal, "Decisions where no alert type was attackable."),
-		fallback:      reg.Counter(MetricTheorem3FallbackTotal, "Alerts solved via LP (3) because the Theorem 3 closed form did not apply."),
-		budget:        reg.Gauge(MetricBudgetRemaining, "Remaining audit budget for the current cycle."),
-		lpSolves:      reg.Counter(MetricLPSolvesTotal, "Candidate LPs solved by the online SSE stage."),
-		simplexIters:  reg.Counter(MetricSimplexIterationsTotal, "Simplex iterations across all candidate LPs."),
-		simplexPivots: reg.Counter(MetricSimplexPivotsTotal, "Simplex tableau pivots across all candidate LPs."),
+		enabled:        true,
+		stageEstimate:  reg.Histogram(MetricStageSeconds, stageHelp, obs.DefTimeBuckets, obs.L("stage", "estimate")),
+		stageSSE:       reg.Histogram(MetricStageSeconds, stageHelp, obs.DefTimeBuckets, obs.L("stage", "sse")),
+		stageSignal:    reg.Histogram(MetricStageSeconds, stageHelp, obs.DefTimeBuckets, obs.L("stage", "signal")),
+		decision:       reg.Histogram(MetricDecisionSeconds, "Whole-decision SAG latency in seconds.", obs.DefTimeBuckets),
+		decisions:      reg.Counter(MetricDecisionsTotal, "Committed engine decisions.", obs.L("policy", policy.String())),
+		vacuous:        reg.Counter(MetricVacuousTotal, "Decisions where no alert type was attackable."),
+		fallback:       reg.Counter(MetricTheorem3FallbackTotal, "Alerts solved via LP (3) because the Theorem 3 closed form did not apply."),
+		budget:         reg.Gauge(MetricBudgetRemaining, "Remaining audit budget for the current cycle."),
+		lpSolves:       reg.Counter(MetricLPSolvesTotal, "Candidate LPs solved by the online SSE stage."),
+		simplexIters:   reg.Counter(MetricSimplexIterationsTotal, "Simplex iterations across all candidate LPs."),
+		simplexPivots:  reg.Counter(MetricSimplexPivotsTotal, "Simplex tableau pivots across all candidate LPs."),
+		cacheHits:      reg.Counter(MetricCacheHitsTotal, "Decision-cache lookups served from the cache."),
+		cacheMisses:    reg.Counter(MetricCacheMissesTotal, "Decision-cache lookups that missed and re-solved."),
+		cacheEvictions: reg.Counter(MetricCacheEvictionsTotal, "Decision-cache LRU evictions at capacity."),
+		cacheEntries:   reg.Gauge(MetricCacheEntries, "Current decision-cache entry count."),
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"github.com/auditgames/sag/internal/dist"
 	"github.com/auditgames/sag/internal/lp"
 	"github.com/auditgames/sag/internal/payoff"
+	"github.com/auditgames/sag/internal/pool"
 )
 
 // Instance describes the static part of an audit game: the alert-type
@@ -33,7 +34,30 @@ import (
 type Instance struct {
 	Payoffs    []payoff.Payoff
 	AuditCosts []float64
+
+	// workers bounds the candidate-LP fan-out of solveSSE; see SetWorkers.
+	workers int
 }
+
+// SetWorkers bounds the per-candidate LP fan-out for SSE solves on this
+// instance: 0 (the default) uses the shared GOMAXPROCS-sized worker pool,
+// 1 forces the sequential reference path, and n > 1 caps the number of
+// concurrent candidate solves at n. Parallel and sequential solves return
+// bit-identical Results: candidate LPs are independent and deterministic,
+// results are reduced in ascending type order with ties broken toward the
+// lowest type index, and solver-effort counters are integer sums (exact and
+// order-independent). Configure before solving begins — the setting is read
+// by every solve and must not be changed concurrently with solves.
+func (in *Instance) SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	in.workers = n
+}
+
+// Workers returns the configured candidate-solve fan-out bound (0 = shared
+// pool default).
+func (in *Instance) Workers() int { return in.workers }
 
 // NewInstance validates and builds an Instance. Payoffs and costs must have
 // equal nonzero length, every payoff must satisfy the paper's sign
@@ -169,16 +193,22 @@ func SolveOfflineSSE(inst *Instance, budget float64, counts []float64) (*Result,
 // solveSSE runs the multiple-LP method. coeffs[t] is the linear coverage
 // coefficient: θ^t = coeffs[t]·B^t/V^t. attackable[t] gates both the
 // candidate set and the best-response constraints.
+//
+// The k candidate LPs are independent, so they fan out across the shared
+// worker pool (bounded by Instance.SetWorkers). Each candidate writes into
+// its own index slot; the reduction below runs sequentially in ascending
+// type order with the strong-SSE tie-break (lowest type index at equal
+// defender utility, within the 1e-12 comparison tolerance), so the parallel
+// and sequential paths produce bit-identical Results.
 func solveSSE(inst *Instance, budget float64, coeffs []float64, attackable []bool) (*Result, error) {
 	k := inst.NumTypes()
-	anyAttackable := false
-	for _, a := range attackable {
+	cands := make([]int, 0, k)
+	for t, a := range attackable {
 		if a {
-			anyAttackable = true
-			break
+			cands = append(cands, t)
 		}
 	}
-	if !anyAttackable {
+	if len(cands) == 0 {
 		return &Result{
 			BestType:          -1,
 			Coverage:          make([]float64, k),
@@ -187,21 +217,42 @@ func solveSSE(inst *Instance, budget float64, coeffs []float64, attackable []boo
 		}, nil
 	}
 
-	best := (*Result)(nil)
+	results := make([]*Result, k)
 	feasible := make([]bool, k)
-	var stats SolveStats
-	for t := 0; t < k; t++ {
-		if !attackable[t] {
-			continue
-		}
+	errs := make([]error, k)
+	var simplex lp.AtomicStats
+	solve := func(i int) {
+		t := cands[i]
 		res, lpStats, ok, err := solveCandidate(inst, budget, coeffs, attackable, t)
 		if err != nil {
-			return nil, err
+			errs[t] = err
+			return
+		}
+		simplex.Add(lpStats)
+		feasible[t] = ok
+		if ok {
+			results[t] = res
+		}
+	}
+	if w := inst.workers; w == 1 || len(cands) == 1 {
+		for i := range cands {
+			solve(i)
+		}
+	} else {
+		pool.Shared().ForEach(len(cands), w, solve)
+	}
+
+	// Deterministic reduction: errors and candidates are examined in
+	// ascending type order regardless of solve scheduling.
+	var stats SolveStats
+	best := (*Result)(nil)
+	for _, t := range cands {
+		if errs[t] != nil {
+			return nil, errs[t]
 		}
 		stats.LPSolves++
-		stats.Simplex.Accumulate(lpStats)
-		feasible[t] = ok
-		if !ok {
+		res := results[t]
+		if res == nil {
 			continue
 		}
 		if best == nil || res.DefenderUtility > best.DefenderUtility+1e-12 {
@@ -213,6 +264,7 @@ func solveSSE(inst *Instance, budget float64, coeffs []float64, attackable []boo
 		// candidate argmax U_au is always feasible with zero allocation.
 		return nil, fmt.Errorf("game: no feasible best-response candidate (internal invariant violated)")
 	}
+	stats.Simplex = simplex.Load()
 	best.CandidateFeasible = feasible
 	best.Stats = stats
 	return best, nil
@@ -239,11 +291,16 @@ func solveCandidate(inst *Instance, budget float64, coeffs []float64, attackable
 	}
 
 	// Bounds: B^j ∈ [0, V^j/coeffs[j]] keeps θ^j ≤ 1 (and ≤ budget
-	// implicitly via the shared budget row).
+	// implicitly via the shared budget row). A zero coefficient means
+	// coverage never accrues for type j (zero expected future alerts), so
+	// the θ^j ≤ 1 cap is vacuous and only the budget bounds B^j — dividing
+	// by it would inject ±Inf into the variable bounds.
 	for j := 0; j < k; j++ {
 		hi := budget
-		if cap := inst.AuditCosts[j] / coeffs[j]; cap < hi {
-			hi = cap
+		if coeffs[j] > 0 {
+			if c := inst.AuditCosts[j] / coeffs[j]; c < hi {
+				hi = c
+			}
 		}
 		if err := prob.SetBounds(j, 0, hi); err != nil {
 			return nil, lp.Stats{}, false, err

@@ -1,0 +1,152 @@
+package game
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/auditgames/sag/internal/dist"
+	"github.com/auditgames/sag/internal/payoff"
+)
+
+// randomParallelInstance builds a valid random instance with k types for the
+// parallel-vs-sequential equivalence property.
+func randomParallelInstance(t *testing.T, rng *rand.Rand, k int) *Instance {
+	t.Helper()
+	pays := make([]payoff.Payoff, k)
+	costs := make([]float64, k)
+	for i := range pays {
+		pays[i] = payoff.Payoff{
+			DefenderCovered:   rng.Float64() * 700,
+			DefenderUncovered: -(10 + rng.Float64()*2000),
+			AttackerCovered:   -(10 + rng.Float64()*6000),
+			AttackerUncovered: 10 + rng.Float64()*800,
+		}
+		costs[i] = 0.5 + rng.Float64()*5
+	}
+	inst, err := NewInstance(pays, costs)
+	if err != nil {
+		t.Fatalf("random instance invalid: %v", err)
+	}
+	return inst
+}
+
+// TestParallelSolveMatchesSequential is the equivalence property the parallel
+// fan-out must uphold: for randomized instances, budgets and future-rate
+// vectors, the parallel solve (shared pool, and an explicit 3-worker cap)
+// returns a Result identical — field for field, including CandidateFeasible
+// and the accumulated SolveStats — to the sequential reference (workers=1).
+func TestParallelSolveMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260806))
+	for trial := 0; trial < 60; trial++ {
+		k := 1 + rng.Intn(9)
+		inst := randomParallelInstance(t, rng, k)
+		budget := rng.Float64() * 30
+		futures := make([]dist.Poisson, k)
+		for i := range futures {
+			switch rng.Intn(4) {
+			case 0:
+				futures[i] = dist.Poisson{Lambda: 0} // unattackable type
+			default:
+				futures[i] = dist.Poisson{Lambda: rng.Float64() * 60}
+			}
+		}
+
+		inst.SetWorkers(1)
+		seq, seqErr := SolveOnlineSSE(inst, budget, futures)
+		for _, w := range []int{0, 3} {
+			inst.SetWorkers(w)
+			par, parErr := SolveOnlineSSE(inst, budget, futures)
+			if (seqErr == nil) != (parErr == nil) {
+				t.Fatalf("trial %d workers=%d: error mismatch seq=%v par=%v", trial, w, seqErr, parErr)
+			}
+			if seqErr != nil {
+				continue
+			}
+			if !reflect.DeepEqual(seq, par) {
+				t.Fatalf("trial %d workers=%d: parallel result diverges\nseq: %+v\npar: %+v", trial, w, seq, par)
+			}
+		}
+	}
+}
+
+// TestParallelSolveMatchesSequentialOffline runs the same equivalence
+// property through the offline entry point, whose coefficient construction
+// (1/d with exclusion of zero-count types) differs from the online path.
+func TestParallelSolveMatchesSequentialOffline(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		k := 2 + rng.Intn(7)
+		inst := randomParallelInstance(t, rng, k)
+		budget := rng.Float64() * 20
+		counts := make([]float64, k)
+		for i := range counts {
+			if rng.Intn(4) > 0 {
+				counts[i] = float64(rng.Intn(50))
+			}
+		}
+
+		inst.SetWorkers(1)
+		seq, err := SolveOfflineSSE(inst, budget, counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst.SetWorkers(0)
+		par, err := SolveOfflineSSE(inst, budget, counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("trial %d: offline parallel result diverges\nseq: %+v\npar: %+v", trial, seq, par)
+		}
+	}
+}
+
+// TestSetWorkersClamp checks the workers knob normalizes negative values.
+func TestSetWorkersClamp(t *testing.T) {
+	inst := randomParallelInstance(t, rand.New(rand.NewSource(1)), 2)
+	inst.SetWorkers(-5)
+	if inst.Workers() != 0 {
+		t.Fatalf("Workers() = %d after SetWorkers(-5), want 0", inst.Workers())
+	}
+	inst.SetWorkers(4)
+	if inst.Workers() != 4 {
+		t.Fatalf("Workers() = %d, want 4", inst.Workers())
+	}
+}
+
+// TestZeroCoefficientBounds is the regression test for the coeffs[j] == 0
+// guard in solveCandidate: a type with a zero (or negative-zero) expected
+// future-alert coefficient must fall back to the plain budget cap on its
+// allocation variable rather than deriving a ±Inf bound from AuditCosts/0.
+func TestZeroCoefficientBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	inst := randomParallelInstance(t, rng, 3)
+	inst.SetWorkers(1)
+	budget := 10.0
+
+	for _, zero := range []float64{0, math.Copysign(0, -1)} {
+		coeffs := []float64{0.8, zero, 0.5}
+		attackable := []bool{true, true, true}
+		res, err := solveSSE(inst, budget, coeffs, attackable)
+		if err != nil {
+			t.Fatalf("zero=%g: solveSSE failed: %v", zero, err)
+		}
+		for j, v := range res.Allocation {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 || v > budget+1e-9 {
+				t.Fatalf("zero=%g: allocation[%d] = %g outside [0, budget]", zero, j, v)
+			}
+		}
+		for j, c := range res.Coverage {
+			if math.IsNaN(c) || c < 0 || c > 1+1e-9 {
+				t.Fatalf("zero=%g: coverage[%d] = %g outside [0, 1]", zero, j, c)
+			}
+		}
+		// The zero-coefficient type yields zero marginal coverage however
+		// much budget it gets, so its coverage must be exactly zero.
+		if res.Coverage[1] != 0 {
+			t.Fatalf("zero=%g: zero-coefficient type has coverage %g, want 0", zero, res.Coverage[1])
+		}
+	}
+}

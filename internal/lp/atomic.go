@@ -1,0 +1,31 @@
+package lp
+
+import "sync/atomic"
+
+// AtomicStats is a Stats accumulator safe for concurrent use. The parallel
+// multiple-LP fan-out in internal/game aggregates per-candidate solver
+// effort through it: every field is an integer count, so concurrent
+// accumulation is exact and order-independent — the totals are bit-identical
+// to a sequential accumulation of the same solves, which the parallel SSE
+// path relies on for reproducibility.
+type AtomicStats struct {
+	phase1 atomic.Int64
+	phase2 atomic.Int64
+	pivots atomic.Int64
+}
+
+// Add accumulates one solve's effort. Safe for concurrent use.
+func (a *AtomicStats) Add(s Stats) {
+	a.phase1.Add(int64(s.Phase1Iterations))
+	a.phase2.Add(int64(s.Phase2Iterations))
+	a.pivots.Add(int64(s.Pivots))
+}
+
+// Load returns the accumulated totals as a plain Stats value.
+func (a *AtomicStats) Load() Stats {
+	return Stats{
+		Phase1Iterations: int(a.phase1.Load()),
+		Phase2Iterations: int(a.phase2.Load()),
+		Pivots:           int(a.pivots.Load()),
+	}
+}

@@ -1,0 +1,148 @@
+// Package pool provides the bounded worker pool shared by the CPU-bound
+// fan-outs in this repository: the per-candidate LP solves of the online SSE
+// (internal/game) and the independent replications of the evaluation harness
+// (internal/sim).
+//
+// Design points:
+//
+//   - A Pool owns a fixed set of long-lived worker goroutines (default
+//     runtime.GOMAXPROCS(0)), started lazily on first use and reused across
+//     every ForEach call, so the microsecond-scale solve fan-outs pay no
+//     per-call goroutine creation cost once warm.
+//   - The calling goroutine always participates in its own job, and idle
+//     workers join via a non-blocking handoff. A busy pool therefore never
+//     blocks a caller: nested fan-outs (a parallel simulation whose engines
+//     issue parallel candidate solves) degrade to inline execution instead
+//     of deadlocking, and total parallelism stays bounded by the pool width.
+//   - Work is distributed by an atomic counter. Scheduling order is
+//     nondeterministic, but every index in [0, n) runs exactly once; callers
+//     that need deterministic output write results into per-index slots and
+//     reduce sequentially afterwards (see game.solveSSE).
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// job is one ForEach invocation: a closed-over fn plus the atomic cursor the
+// executors (caller + any helpers) pull indices from.
+type job struct {
+	fn        func(int)
+	n         int64
+	next      atomic.Int64
+	completed atomic.Int64
+	done      chan struct{}
+
+	mu       sync.Mutex
+	panicked bool
+	panicVal any
+}
+
+// run pulls indices until the cursor is exhausted.
+func (j *job) run() {
+	for {
+		i := j.next.Add(1) - 1
+		if i >= j.n {
+			return
+		}
+		j.exec(int(i))
+	}
+}
+
+// exec runs one index, capturing the first panic so it can be re-raised in
+// the caller's goroutine instead of crashing a pool worker.
+func (j *job) exec(i int) {
+	defer func() {
+		if r := recover(); r != nil {
+			j.mu.Lock()
+			if !j.panicked {
+				j.panicked, j.panicVal = true, r
+			}
+			j.mu.Unlock()
+		}
+		if j.completed.Add(1) == j.n {
+			close(j.done)
+		}
+	}()
+	j.fn(i)
+}
+
+// Pool is a reusable set of worker goroutines. The zero value is not usable;
+// create one with New or use the package-level Shared pool.
+type Pool struct {
+	width int
+	jobs  chan *job
+	once  sync.Once
+}
+
+// New returns a pool with the given number of persistent workers
+// (width <= 0 selects runtime.GOMAXPROCS(0)). Workers start lazily on the
+// first ForEach call and live for the life of the process; pools are cheap
+// enough that tests create dedicated ones freely.
+func New(width int) *Pool {
+	if width <= 0 {
+		width = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{width: width, jobs: make(chan *job)}
+}
+
+// Width returns the number of persistent workers.
+func (p *Pool) Width() int { return p.width }
+
+var shared = New(0)
+
+// Shared returns the package-level GOMAXPROCS-sized pool used by default
+// throughout the repository.
+func Shared() *Pool { return shared }
+
+// start launches the persistent workers exactly once.
+func (p *Pool) start() {
+	p.once.Do(func() {
+		for w := 0; w < p.width; w++ {
+			go func() {
+				for j := range p.jobs {
+					j.run()
+				}
+			}()
+		}
+	})
+}
+
+// ForEach runs fn(i) for every i in [0, n) and returns when all calls have
+// finished. The caller's goroutine always executes work; up to max-1 idle
+// pool workers (max <= 0 means width+1, i.e. every worker plus the caller)
+// are recruited without blocking, so ForEach never waits for a busy pool.
+// If any fn panics, the first recovered value is re-panicked in the caller's
+// goroutine after the remaining calls complete.
+func (p *Pool) ForEach(n, max int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if max <= 0 {
+		max = p.width + 1
+	}
+	if n == 1 || max == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	p.start()
+	j := &job{fn: fn, n: int64(n), done: make(chan struct{})}
+	helpers := min(max-1, n-1, p.width)
+offer:
+	for h := 0; h < helpers; h++ {
+		select {
+		case p.jobs <- j:
+		default:
+			break offer // no idle worker right now; don't block
+		}
+	}
+	j.run()
+	<-j.done
+	if j.panicked {
+		panic(j.panicVal)
+	}
+}

@@ -1,0 +1,122 @@
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachCoversAllIndices checks every index runs exactly once across a
+// range of n/width/max combinations.
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, width := range []int{1, 2, 4, 8} {
+		p := New(width)
+		for _, n := range []int{0, 1, 2, 3, 7, 64, 1000} {
+			for _, max := range []int{0, 1, 2, 16} {
+				counts := make([]atomic.Int64, n)
+				p.ForEach(n, max, func(i int) { counts[i].Add(1) })
+				for i := range counts {
+					if got := counts[i].Load(); got != 1 {
+						t.Fatalf("width=%d n=%d max=%d: index %d ran %d times", width, n, max, i, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForEachConcurrency verifies real cross-goroutine execution: the job is
+// handed to the single pool worker with a blocking send (guaranteed
+// delivery), the caller participates too, and the two executors must be in
+// flight simultaneously for either to finish. A 1-wide pool plus the caller
+// gives two executors even on one CPU.
+func TestForEachConcurrency(t *testing.T) {
+	p := New(1)
+	p.start()
+	var inFlight, peak atomic.Int64
+	var mu sync.Mutex
+	barrier := make(chan struct{})
+	first := true
+	j := &job{n: 2, done: make(chan struct{})}
+	j.fn = func(i int) {
+		cur := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		if cur > peak.Load() {
+			peak.Store(cur)
+		}
+		mu.Lock()
+		mine := first
+		first = false
+		mu.Unlock()
+		if mine {
+			<-barrier // parked until the other executor arrives
+		} else {
+			close(barrier)
+		}
+	}
+	p.jobs <- j // blocking handoff: the worker definitely runs this job
+	j.run()     // caller participates, exactly as ForEach does
+	<-j.done
+	if peak.Load() != 2 {
+		t.Fatalf("peak concurrency %d, want 2", peak.Load())
+	}
+}
+
+// TestForEachMaxOne forces the sequential path and checks ordering: with
+// max=1 the caller must run the indices itself, in order.
+func TestForEachMaxOne(t *testing.T) {
+	p := New(4)
+	var got []int
+	p.ForEach(5, 1, func(i int) { got = append(got, i) })
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("sequential path out of order: %v", got)
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("ran %d of 5 indices", len(got))
+	}
+}
+
+// TestForEachNested exercises the deadlock-freedom claim: jobs submitted
+// from inside pool workers must complete even when every worker is busy.
+func TestForEachNested(t *testing.T) {
+	p := New(2)
+	var total atomic.Int64
+	p.ForEach(4, 0, func(i int) {
+		p.ForEach(8, 0, func(j int) { total.Add(1) })
+	})
+	if got := total.Load(); got != 32 {
+		t.Fatalf("nested ForEach ran %d inner calls, want 32", got)
+	}
+}
+
+// TestForEachPanic checks a panic inside fn is re-raised in the caller after
+// the job drains, not in a pool worker (which would crash the process).
+func TestForEachPanic(t *testing.T) {
+	p := New(2)
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	p.ForEach(8, 0, func(i int) {
+		if i == 3 {
+			panic("boom")
+		}
+	})
+	t.Fatal("ForEach returned instead of panicking")
+}
+
+// TestSharedPool sanity-checks the package-level pool.
+func TestSharedPool(t *testing.T) {
+	if Shared().Width() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("shared width %d, want GOMAXPROCS %d", Shared().Width(), runtime.GOMAXPROCS(0))
+	}
+	var n atomic.Int64
+	Shared().ForEach(100, 0, func(int) { n.Add(1) })
+	if n.Load() != 100 {
+		t.Fatalf("shared pool ran %d of 100", n.Load())
+	}
+}

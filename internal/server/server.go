@@ -49,6 +49,9 @@ type Config struct {
 	Budget    float64
 	Estimator core.Estimator
 	Seed      int64
+	// Cache configures the engine's per-cycle decision cache (see
+	// core.CacheConfig); the zero value disables caching.
+	Cache core.CacheConfig
 	// Clock returns the current offset within the audit cycle; defaults to
 	// wall-clock time-of-day. Tests inject a fake.
 	Clock func() time.Duration
@@ -95,6 +98,7 @@ func New(cfg Config) (*Server, error) {
 		Estimator: cfg.Estimator,
 		Policy:    core.PolicyOSSP,
 		Rand:      rand.New(rand.NewSource(cfg.Seed)),
+		Cache:     cfg.Cache,
 		Metrics:   met.reg,
 	})
 	if err != nil {
@@ -177,6 +181,12 @@ type Status struct {
 	Quits           int     `json:"quits"`
 	FlaggedUsers    int     `json:"flagged_users"`
 	NumTypes        int     `json:"num_types"`
+	// Decision-cache effectiveness; all zero when caching is disabled.
+	CacheHits      uint64  `json:"cache_hits"`
+	CacheMisses    uint64  `json:"cache_misses"`
+	CacheEvictions uint64  `json:"cache_evictions"`
+	CacheEntries   int     `json:"cache_entries"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
 }
 
 // Handler returns the HTTP handler with all routes mounted. Every route is
@@ -318,6 +328,7 @@ func (s *Server) handleNewCycle(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	cs := s.engine.CacheStats()
 	writeJSON(w, http.StatusOK, Status{
 		Budget:          s.engine.InitialBudget(),
 		RemainingBudget: s.engine.RemainingBudget(),
@@ -327,5 +338,10 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Quits:           s.quits,
 		FlaggedUsers:    len(s.flagged),
 		NumTypes:        s.cfg.Instance.NumTypes(),
+		CacheHits:       cs.Hits,
+		CacheMisses:     cs.Misses,
+		CacheEvictions:  cs.Evictions,
+		CacheEntries:    cs.Entries,
+		CacheHitRate:    cs.HitRate(),
 	})
 }

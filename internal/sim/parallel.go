@@ -2,45 +2,29 @@ package sim
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
+
+	"github.com/auditgames/sag/internal/pool"
 )
 
 // RunGroupsParallel evaluates the groups concurrently across at most
-// workers goroutines (≤ 0 selects GOMAXPROCS) and returns results in input
-// order. Each group's evaluation is fully independent — its engines, RNG
-// streams, and rollback state are per-group — so the output is identical
-// to RunGroups for the same configuration.
+// workers executors (≤ 0 selects the full shared pool) and returns results
+// in input order. Each group's evaluation is fully independent — its
+// engines, RNG streams, and rollback state are per-group — so the output is
+// identical to RunGroups for the same configuration.
+//
+// The fan-out runs on the process-wide worker pool shared with the
+// parallel candidate solves in internal/game: when the replication layer
+// saturates the pool, nested per-decision solves degrade to inline
+// execution instead of oversubscribing the CPU.
 func (r *Runner) RunGroupsParallel(gs []Group, workers int) ([]*DayResult, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(gs) {
-		workers = len(gs)
-	}
 	if len(gs) == 0 {
 		return nil, nil
 	}
-
 	results := make([]*DayResult, len(gs))
 	errs := make([]error, len(gs))
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				results[i], errs[i] = r.RunGroup(gs[i])
-			}
-		}()
-	}
-	for i := range gs {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-
+	pool.Shared().ForEach(len(gs), workers, func(i int) {
+		results[i], errs[i] = r.RunGroup(gs[i])
+	})
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("sim: group %d (%+v): %w", i, gs[i], err)

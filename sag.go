@@ -92,6 +92,14 @@ type (
 	// CycleSummary aggregates one finished audit cycle.
 	CycleSummary = core.CycleSummary
 
+	// CacheConfig configures the engine's per-cycle decision cache (entry
+	// capacity plus budget/rate quantization of the cache key).
+	CacheConfig = core.CacheConfig
+
+	// CacheStats is a snapshot of the decision cache's hit/miss/eviction
+	// counters and current size.
+	CacheStats = core.CacheStats
+
 	// Poisson is the future-alert-count distribution used by the solvers.
 	Poisson = dist.Poisson
 
