@@ -20,11 +20,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"github.com/auditgames/sag/internal/alerts"
 	"github.com/auditgames/sag/internal/core"
@@ -53,6 +58,10 @@ func run() error {
 		cacheSize    = flag.Int("cache-size", 0, "decision-cache capacity (0 disables caching)")
 		cacheBudgetQ = flag.Float64("cache-budget-quantum", 0, "budget bucket width for cache keys (0 = exact)")
 		cacheRateQ   = flag.Float64("cache-rate-quantum", 0, "future-rate bucket width for cache keys (0 = exact)")
+
+		decisionDeadline = flag.Duration("decision-deadline", 0, "per-decision solve deadline; slower decisions degrade down the fallback ladder (0 disables)")
+		requestTimeout   = flag.Duration("request-timeout", 10*time.Second, "per-request HTTP timeout (0 disables)")
+		shutdownGrace    = flag.Duration("shutdown-grace", 10*time.Second, "time in-flight requests get to finish on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
@@ -115,33 +124,48 @@ func run() error {
 			BudgetQuantum: *cacheBudgetQ,
 			RateQuantum:   *cacheRateQ,
 		},
+		DecisionDeadline: *decisionDeadline,
+		RequestTimeout:   *requestTimeout,
 	})
 	if err != nil {
 		return err
 	}
 
+	// Side listener for operators: pprof profiles plus a second mount of
+	// the Prometheus registry, so profiling traffic never competes with
+	// the decision path on the main listener. It shares the graceful
+	// lifecycle with the main listener — both drain and stop together.
+	var dbg http.Handler
 	if *debugAddr != "" {
-		// Side listener for operators: pprof profiles plus a second mount of
-		// the Prometheus registry, so profiling traffic never competes with
-		// the decision path on the main listener.
-		dbg := http.NewServeMux()
-		dbg.HandleFunc("/debug/pprof/", pprof.Index)
-		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		dbg.Handle("/metrics", srv.Metrics().Handler())
-		go func() {
-			log.Printf("debug listener (pprof, /metrics) on %s", *debugAddr)
-			if err := http.ListenAndServe(*debugAddr, dbg); err != nil {
-				log.Printf("debug listener: %v", err)
-			}
-		}()
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/metrics", srv.Metrics().Handler())
+		dbg = mux
 	}
 
 	fmt.Printf("sagserver listening on %s (budget %g, %d alert types)\n", *addr, *budget, len(typeIDs))
 	fmt.Println("  POST /v1/access {employee_id, patient_id} → {alert, warn, ...}")
 	fmt.Println("  POST /v1/quit {employee_id}")
 	fmt.Println("  POST /v1/cycle/close {} · POST /v1/cycle/new {budget} · GET /v1/status · GET /v1/metrics")
-	return http.ListenAndServe(*addr, srv.Handler())
+	fmt.Println("  GET /v1/healthz · GET /v1/readyz")
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return server.Run(ctx, server.RunConfig{
+		Addr:          *addr,
+		Handler:       srv.Handler(),
+		DebugAddr:     *debugAddr,
+		DebugHandler:  dbg,
+		ShutdownGrace: *shutdownGrace,
+		OnDrainStart:  func() { srv.SetReady(false) },
+		OnShutdown: func() {
+			s := srv.CycleSummary()
+			log.Printf("final cycle summary: %d alerts, %d warnings, %d SAG-engaged, %.3f budget spent",
+				s.Alerts, s.Warnings, s.SAGEngaged, s.BudgetSpent)
+		},
+	})
 }

@@ -68,8 +68,8 @@ type cacheEntry struct {
 }
 
 // decisionCache is a fixed-capacity LRU map from encoded game state to a
-// Decision value. It is not safe for concurrent use — it lives inside an
-// Engine, which is single-goroutine by contract.
+// Decision value. It is not safe for concurrent use on its own — it lives
+// inside an Engine, whose mutex serializes every access.
 type decisionCache struct {
 	cfg       CacheConfig
 	order     *list.List // front = most recently used
@@ -119,6 +119,21 @@ func (c *decisionCache) get(key string) (Decision, bool) {
 	c.hits++
 	c.order.MoveToFront(el)
 	return el.Value.(*cacheEntry).d, true
+}
+
+// latestForType returns a copy of the most-recently-used cached decision for
+// the given alert type, regardless of the budget/rate portion of its key.
+// This is the degraded-mode lookup: when the pipeline cannot solve the
+// current game state in time, the freshest decision ever made for this type
+// is the best stand-in the cycle has. It does not touch LRU order or the
+// hit/miss counters — degraded reuse is not a cache hit.
+func (c *decisionCache) latestForType(alertType int) (Decision, bool) {
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		if ent := el.Value.(*cacheEntry); ent.d.Alert.Type == alertType {
+			return ent.d, true
+		}
+	}
+	return Decision{}, false
 }
 
 // put stores a copy of d under key, evicting the least-recently-used entry

@@ -20,13 +20,16 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"time"
 
 	"github.com/auditgames/sag/internal/dist"
+	"github.com/auditgames/sag/internal/fallback"
 	"github.com/auditgames/sag/internal/game"
 	"github.com/auditgames/sag/internal/obs"
 	"github.com/auditgames/sag/internal/signaling"
@@ -52,6 +55,12 @@ type EstimatorFunc func(at time.Duration) ([]float64, error)
 
 // FutureRates implements Estimator.
 func (f EstimatorFunc) FutureRates(at time.Duration) ([]float64, error) { return f(at) }
+
+// SSESolveFunc is the signature of the online SSE solver the engine invokes
+// once per decision. It exists as an injection seam: internal/faultinject
+// wraps it to inject solver errors, latency, and panics, and tests can
+// substitute canned results. The default is game.SolveOnlineSSECtx.
+type SSESolveFunc func(ctx context.Context, inst *game.Instance, budget float64, futures []dist.Poisson) (*game.Result, error)
 
 // Policy selects the engine's auditing policy.
 type Policy int
@@ -112,6 +121,25 @@ type Config struct {
 	// the commitment the paper's LP (2) produces — with the Bayesian layer
 	// optimizing the warn/audit split per alert against the prior.
 	AttackerTypes []signaling.AttackerType
+	// DecisionDeadline bounds each Process call: the context handed to the
+	// estimator check, the SSE solve, and the signaling solve expires after
+	// this duration. Zero means no per-decision deadline. A deadline
+	// without Fallback turns slow solves into errors; with Fallback they
+	// become degraded decisions.
+	DecisionDeadline time.Duration
+	// Fallback enables graceful degradation: when the decision pipeline
+	// fails (estimator error, solver error or panic, deadline exceeded),
+	// Process descends the ladder in internal/fallback — cached decision →
+	// last-good θ → static conservative policy — instead of returning an
+	// error. Every degraded decision is tagged with its fallback.Level and
+	// counted in sag_engine_fallback_total. Alerts that are invalid per se
+	// (type out of range) still error: no ladder rung can define a payoff
+	// for a type the game does not have.
+	Fallback bool
+	// SSESolve overrides the online SSE solver (nil means
+	// game.SolveOnlineSSECtx). This is the injection seam used by
+	// internal/faultinject and by solver-substitution tests.
+	SSESolve SSESolveFunc
 }
 
 // Decision records everything the engine did for one alert.
@@ -154,21 +182,45 @@ type Decision struct {
 	// Vacuous reports that no type was attackable (all estimated future
 	// rates zero), making the game degenerate for this alert.
 	Vacuous bool
+	// Fallback records how this decision was produced: fallback.None for
+	// the primary pipeline, or the ladder rung (Cache, LastGood, Static)
+	// that answered after the pipeline failed. See Config.Fallback.
+	Fallback fallback.Level
 }
 
-// Engine executes one audit cycle online. It is not safe for concurrent
-// use; run one Engine per goroutine.
+// Engine executes one audit cycle online.
+//
+// Concurrency contract: every exported method serializes on an internal
+// mutex, so an Engine may be shared across goroutines (the HTTP server
+// shares one across request handlers). Decisions are order-dependent
+// through the remaining budget, so concurrent Process calls are linearized
+// in lock-acquisition order — callers that need a *specific* interleaving
+// (the simulation harness replaying a recorded day, for example) must still
+// serialize externally. The slice returned by Decisions is owned by the
+// engine and must not be read concurrently with Process/NewCycle calls.
 type Engine struct {
+	mu        sync.Mutex
 	inst      *game.Instance
 	est       Estimator
 	policy    Policy
 	rng       *rand.Rand
 	useLP     bool
 	bayes     []signaling.AttackerType
+	deadline  time.Duration
+	degrade   bool
+	sseSolve  SSESolveFunc
 	budget    float64
 	initial   float64
 	decisions []Decision
 	cache     *decisionCache
+	// lastSSE / lastRates feed the degraded rungs: the most recent
+	// successfully solved equilibrium (for the last-good-θ rung) and the
+	// most recent successful future-rate estimate (for the static rung's
+	// expected-remaining-cost). Both reset on NewCycle — a new cycle's
+	// budget makes the old θ stale, and degrading from genuinely no
+	// information is exactly what the static rung is for.
+	lastSSE   *game.Result
+	lastRates []float64
 	met       engineMetrics
 }
 
@@ -192,16 +244,26 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if err := cfg.Cache.validate(); err != nil {
 		return nil, err
 	}
+	if cfg.DecisionDeadline < 0 {
+		return nil, fmt.Errorf("core: negative decision deadline %v", cfg.DecisionDeadline)
+	}
+	solve := cfg.SSESolve
+	if solve == nil {
+		solve = game.SolveOnlineSSECtx
+	}
 	e := &Engine{
-		inst:    cfg.Instance,
-		est:     cfg.Estimator,
-		policy:  cfg.Policy,
-		rng:     cfg.Rand,
-		useLP:   cfg.UseLPSignaling,
-		bayes:   append([]signaling.AttackerType(nil), cfg.AttackerTypes...),
-		budget:  cfg.Budget,
-		initial: cfg.Budget,
-		met:     newEngineMetrics(cfg.Metrics, cfg.Policy),
+		inst:     cfg.Instance,
+		est:      cfg.Estimator,
+		policy:   cfg.Policy,
+		rng:      cfg.Rand,
+		useLP:    cfg.UseLPSignaling,
+		bayes:    append([]signaling.AttackerType(nil), cfg.AttackerTypes...),
+		deadline: cfg.DecisionDeadline,
+		degrade:  cfg.Fallback,
+		sseSolve: solve,
+		budget:   cfg.Budget,
+		initial:  cfg.Budget,
+		met:      newEngineMetrics(cfg.Metrics, cfg.Policy),
 	}
 	if cfg.Cache.Size > 0 {
 		e.cache = newDecisionCache(cfg.Cache)
@@ -211,7 +273,11 @@ func NewEngine(cfg Config) (*Engine, error) {
 }
 
 // RemainingBudget returns the budget left for the rest of the cycle.
-func (e *Engine) RemainingBudget() float64 { return e.budget }
+func (e *Engine) RemainingBudget() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.budget
+}
 
 // NewCycle resets the engine for the next audit cycle: the budget is
 // restored to the given value, recorded decisions are cleared, and any
@@ -222,9 +288,13 @@ func (e *Engine) NewCycle(budget float64) error {
 	if budget < 0 || math.IsNaN(budget) || math.IsInf(budget, 0) {
 		return fmt.Errorf("core: invalid budget %g", budget)
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	e.budget = budget
 	e.initial = budget
 	e.decisions = e.decisions[:0]
+	e.lastSSE = nil
+	e.lastRates = nil
 	if e.cache != nil {
 		e.cache.clear()
 		e.met.cacheEntries.Set(0)
@@ -237,23 +307,64 @@ func (e *Engine) NewCycle(budget float64) error {
 }
 
 // InitialBudget returns the budget the cycle started with.
-func (e *Engine) InitialBudget() float64 { return e.initial }
+func (e *Engine) InitialBudget() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.initial
+}
 
 // Decisions returns the decisions recorded so far, in arrival order. The
-// returned slice is owned by the engine; callers must not mutate it.
-func (e *Engine) Decisions() []Decision { return e.decisions }
+// returned slice is owned by the engine; callers must not mutate it, and
+// must not read it concurrently with Process or NewCycle calls.
+func (e *Engine) Decisions() []Decision {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.decisions
+}
 
 // Process handles one arriving alert: solves the games, samples the signal
 // (under PolicyOSSP), charges the budget, and appends + returns the
-// Decision.
+// Decision. It is Process(context.Background(), ·); see ProcessContext.
 func (e *Engine) Process(a Alert) (*Decision, error) {
+	return e.ProcessContext(context.Background(), a)
+}
+
+// ProcessContext is Process bounded by ctx plus the engine's configured
+// DecisionDeadline (whichever expires first). When graceful degradation is
+// enabled (Config.Fallback), any pipeline failure — estimator error, solver
+// error or panic, expired deadline — is converted into a degraded decision
+// via the internal/fallback ladder, so the only errors ProcessContext can
+// return are structurally invalid alerts (type out of range). Without
+// Fallback, errors propagate exactly as before.
+//
+// Budget accounting is identical on every path: the budget is charged
+// exactly once, at commit, from the decision's signal-conditional audit
+// probability — a degraded decision can never double-charge.
+func (e *Engine) ProcessContext(ctx context.Context, a Alert) (*Decision, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	var t0 time.Time
 	if e.met.enabled {
 		t0 = time.Now()
 	}
-	d, err := e.decide(a)
+	if a.Type < 0 || a.Type >= e.inst.NumTypes() {
+		return nil, fmt.Errorf("core: alert type %d out of range [0,%d)", a.Type, e.inst.NumTypes())
+	}
+	if e.deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.deadline)
+		defer cancel()
+	}
+	d, err := fallback.Attempt(func() (*Decision, error) { return e.decide(ctx, a) })
 	if err != nil {
-		return nil, err
+		if !e.degrade {
+			return nil, err
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			e.met.deadlineExceeded.Inc()
+		}
+		d = e.degraded(a)
+		e.met.fallbackCounter(d.Fallback).Inc()
 	}
 	// Commit: sample the signal and charge the budget.
 	V := e.inst.AuditCosts[a.Type]
@@ -282,16 +393,20 @@ func (e *Engine) Process(a Alert) (*Decision, error) {
 
 // Preview computes the decision the engine would take for a hypothetical
 // alert without sampling a signal or mutating any state. Used by the
-// adaptive-attacker example and by tests.
+// adaptive-attacker example and by tests. Preview never degrades and
+// applies no deadline: it reports what the primary pipeline would do.
 func (e *Engine) Preview(a Alert) (*Decision, error) {
-	return e.decide(a)
-}
-
-// decide runs the SSE + OSSP pipeline without committing state.
-func (e *Engine) decide(a Alert) (*Decision, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if a.Type < 0 || a.Type >= e.inst.NumTypes() {
 		return nil, fmt.Errorf("core: alert type %d out of range [0,%d)", a.Type, e.inst.NumTypes())
 	}
+	return e.decide(context.Background(), a)
+}
+
+// decide runs the SSE + OSSP pipeline without committing state. The caller
+// holds e.mu and has validated a.Type.
+func (e *Engine) decide(ctx context.Context, a Alert) (*Decision, error) {
 	var t0 time.Time
 	if e.met.enabled {
 		t0 = time.Now()
@@ -299,6 +414,9 @@ func (e *Engine) decide(a Alert) (*Decision, error) {
 	rates, err := e.est.FutureRates(a.Time)
 	if err != nil {
 		return nil, fmt.Errorf("core: estimating future alerts: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: decision deadline: %w", err)
 	}
 	if len(rates) != e.inst.NumTypes() {
 		return nil, fmt.Errorf("core: estimator returned %d rates for %d types", len(rates), e.inst.NumTypes())
@@ -311,6 +429,7 @@ func (e *Engine) decide(a Alert) (*Decision, error) {
 		}
 		futures[i] = p
 	}
+	e.lastRates = append(e.lastRates[:0], rates...)
 	if e.met.enabled {
 		e.met.stageEstimate.ObserveSince(t0)
 		t0 = time.Now()
@@ -332,10 +451,11 @@ func (e *Engine) decide(a Alert) (*Decision, error) {
 		e.met.cacheMisses.Inc()
 	}
 
-	sse, err := game.SolveOnlineSSE(e.inst, e.budget, futures)
+	sse, err := e.sseSolve(ctx, e.inst, e.budget, futures)
 	if err != nil {
 		return nil, fmt.Errorf("core: online SSE: %w", err)
 	}
+	e.lastSSE = sse
 	if e.met.enabled {
 		e.met.stageSSE.ObserveSince(t0)
 		e.met.recordSSE(sse.Stats)
@@ -368,28 +488,9 @@ func (e *Engine) decide(a Alert) (*Decision, error) {
 	if e.met.enabled {
 		t0 = time.Now()
 	}
-	pf := e.inst.Payoffs[a.Type]
-	var scheme signaling.Scheme
-	switch {
-	case len(e.bayes) > 0:
-		b, berr := signaling.SolveBayesian(signaling.DefenderSide{
-			Covered:   pf.DefenderCovered,
-			Uncovered: pf.DefenderUncovered,
-		}, e.bayes, d.Theta)
-		if berr != nil {
-			return nil, fmt.Errorf("core: Bayesian OSSP: %w", berr)
-		}
-		scheme = bayesianToScheme(b, e.bayes)
-	case e.useLP || !pf.SatisfiesTheorem3():
-		if !pf.SatisfiesTheorem3() {
-			e.met.fallback.Inc()
-		}
-		scheme, err = signaling.SolveLP(pf, d.Theta)
-	default:
-		scheme, err = signaling.Solve(pf, d.Theta)
-	}
+	scheme, err := e.signalScheme(ctx, a.Type, d.Theta)
 	if err != nil {
-		return nil, fmt.Errorf("core: OSSP: %w", err)
+		return nil, err
 	}
 	if e.met.enabled {
 		e.met.stageSignal.ObserveSince(t0)
@@ -405,6 +506,163 @@ func (e *Engine) decide(a Alert) (*Decision, error) {
 	}
 	e.memoize(cacheKey, d)
 	return d, nil
+}
+
+// signalScheme runs the OSSP signaling stage for one alert type and marginal
+// audit probability θ: the Bayesian program when attacker types are private,
+// LP (3) when forced or when Theorem 3's preconditions fail, and the closed
+// form otherwise.
+func (e *Engine) signalScheme(ctx context.Context, typ int, theta float64) (signaling.Scheme, error) {
+	pf := e.inst.Payoffs[typ]
+	var scheme signaling.Scheme
+	var err error
+	switch {
+	case len(e.bayes) > 0:
+		b, berr := signaling.SolveBayesian(signaling.DefenderSide{
+			Covered:   pf.DefenderCovered,
+			Uncovered: pf.DefenderUncovered,
+		}, e.bayes, theta)
+		if berr != nil {
+			return signaling.Scheme{}, fmt.Errorf("core: Bayesian OSSP: %w", berr)
+		}
+		scheme = bayesianToScheme(b, e.bayes)
+	case e.useLP || !pf.SatisfiesTheorem3():
+		if !pf.SatisfiesTheorem3() {
+			e.met.fallback.Inc()
+		}
+		scheme, err = signaling.SolveLPCtx(ctx, pf, theta)
+	default:
+		scheme, err = signaling.Solve(pf, theta)
+	}
+	if err != nil {
+		return signaling.Scheme{}, fmt.Errorf("core: OSSP: %w", err)
+	}
+	return scheme, nil
+}
+
+// degraded produces a decision for a after the primary pipeline failed,
+// descending the fallback ladder. The final rung is infallible, so degraded
+// always returns a usable decision. The caller holds e.mu.
+//
+// Degraded rungs deliberately run without the (already expired) decision
+// deadline: the cache rung is a map lookup and the last-good / static rungs
+// at most re-solve one small signaling LP, so they complete in microseconds.
+func (e *Engine) degraded(a Alert) *Decision {
+	d, lvl, err := fallback.Run(
+		fallback.Step[*Decision]{Level: fallback.Cache, Try: func() (*Decision, error) {
+			return e.cachedForType(a)
+		}},
+		fallback.Step[*Decision]{Level: fallback.LastGood, Try: func() (*Decision, error) {
+			return e.lastGoodDecision(a)
+		}},
+		fallback.Step[*Decision]{Level: fallback.Static, Try: func() (*Decision, error) {
+			return e.staticDecision(a), nil
+		}},
+	)
+	if err != nil {
+		// Unreachable: the static rung cannot fail. Guard anyway so a future
+		// refactor cannot turn a degraded decision into a nil dereference.
+		d, lvl = e.staticDecision(a), fallback.Static
+	}
+	d.Fallback = lvl
+	return d
+}
+
+// cachedForType is the first degraded rung: reuse the most recently cached
+// decision for the alert's type, even though the budget or rates may have
+// drifted from the cached key. The scheme is near-optimal for a nearby game
+// state, which beats the static policy's type-blind coverage.
+func (e *Engine) cachedForType(a Alert) (*Decision, error) {
+	if e.cache == nil {
+		return nil, errors.New("core: decision cache disabled")
+	}
+	hit, ok := e.cache.latestForType(a.Type)
+	if !ok {
+		return nil, fmt.Errorf("core: no cached decision for type %d", a.Type)
+	}
+	hit.Alert = a
+	hit.BudgetBefore = e.budget
+	hit.BudgetAfter = e.budget
+	return &hit, nil
+}
+
+// lastGoodDecision is the second degraded rung: reuse the θ vector of the
+// most recent successfully solved online SSE and re-run only the (cheap)
+// signaling stage for the current alert's type. The equilibrium is stale —
+// it was solved for an earlier budget — but its coverage remains a feasible
+// commitment, and by Theorem 2 signaling on top of it never hurts.
+func (e *Engine) lastGoodDecision(a Alert) (*Decision, error) {
+	sse := e.lastSSE
+	if sse == nil {
+		return nil, errors.New("core: no previously solved equilibrium this cycle")
+	}
+	d := &Decision{
+		Alert:        a,
+		BudgetBefore: e.budget,
+		BudgetAfter:  e.budget,
+		SSE:          sse,
+	}
+	if sse.BestType == -1 {
+		d.Vacuous = true
+		return d, nil
+	}
+	d.Theta = sse.Coverage[a.Type]
+	d.SSEUtility = participationAwareUtility(sse)
+	d.AppliedSAG = a.Type == sse.BestType
+	if e.policy == PolicySSE {
+		d.OSSPUtility = d.SSEUtility
+		return d, nil
+	}
+	scheme, err := e.signalScheme(context.Background(), a.Type, d.Theta)
+	if err != nil {
+		return nil, err
+	}
+	d.Scheme = scheme
+	if d.AppliedSAG {
+		d.OSSPUtility = scheme.DefenderUtility
+	} else {
+		d.OSSPUtility = d.SSEUtility
+	}
+	return d, nil
+}
+
+// staticDecision is the terminal, infallible rung: audit with probability
+// remaining-budget / expected-remaining-audit-cost (clamped to [0,1]) and
+// never warn. Never warning is safe — Theorem 2 says the optimal signaling
+// scheme only improves on not signaling, so its absence degrades utility,
+// never feasibility — and the ratio policy spreads the remaining budget
+// uniformly over the expected remaining workload so the engine cannot
+// overcommit while degraded.
+func (e *Engine) staticDecision(a Alert) *Decision {
+	expCost := 0.0
+	if len(e.lastRates) == e.inst.NumTypes() {
+		for i, r := range e.lastRates {
+			expCost += r * e.inst.AuditCosts[i]
+		}
+	} else {
+		// No successful estimate yet this cycle: budget for this alert alone.
+		expCost = e.inst.AuditCosts[a.Type]
+	}
+	p := fallback.StaticAuditProbability(e.budget, expCost)
+	pf := e.inst.Payoffs[a.Type]
+	util := p*pf.DefenderCovered + (1-p)*pf.DefenderUncovered
+	d := &Decision{
+		Alert:        a,
+		BudgetBefore: e.budget,
+		BudgetAfter:  e.budget,
+		Theta:        p,
+		SSEUtility:   util,
+		OSSPUtility:  util,
+		// Never warn: all probability mass on the silent signal, split
+		// between audit (P0) and no-audit (Q0) by the static coverage.
+		Scheme: signaling.Scheme{
+			P0:              p,
+			Q0:              1 - p,
+			DefenderUtility: util,
+			AttackerUtility: p*pf.AttackerCovered + (1-p)*pf.AttackerUncovered,
+		},
+	}
+	return d
 }
 
 // memoize stores a value copy of d under key. The copy is taken before
@@ -425,6 +683,8 @@ func (e *Engine) memoize(key string, d *Decision) {
 // CacheStats returns a snapshot of the decision cache's counters; the zero
 // value when caching is disabled.
 func (e *Engine) CacheStats() CacheStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.cache == nil {
 		return CacheStats{}
 	}
@@ -490,6 +750,8 @@ type AuditOutcome struct {
 // CloseCycle does not mutate engine state and may be called repeatedly
 // with different rngs to draw independent audit plans.
 func (e *Engine) CloseCycle(rng *rand.Rand) ([]AuditOutcome, float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	outcomes := make([]AuditOutcome, len(e.decisions))
 	total := 0.0
 	for i, d := range e.decisions {
@@ -521,6 +783,8 @@ type CycleSummary struct {
 
 // Summary aggregates the decisions recorded so far.
 func (e *Engine) Summary() CycleSummary {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	s := CycleSummary{
 		Alerts:      len(e.decisions),
 		BudgetSpent: e.initial - e.budget,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"github.com/auditgames/sag/internal/fallback"
 	"github.com/auditgames/sag/internal/game"
 	"github.com/auditgames/sag/internal/obs"
 )
@@ -37,6 +38,12 @@ const (
 	MetricCacheEvictionsTotal = "sag_engine_cache_evictions_total"
 	// MetricCacheEntries is a gauge of the decision cache's current size.
 	MetricCacheEntries = "sag_engine_cache_entries"
+	// MetricFallbackTotal counts degraded decisions, labeled by the ladder
+	// rung that produced them (level=cache|last_good|static).
+	MetricFallbackTotal = "sag_engine_fallback_total"
+	// MetricDeadlineExceededTotal counts decisions whose primary pipeline
+	// was cut off by the per-decision deadline.
+	MetricDeadlineExceededTotal = "sag_engine_deadline_exceeded_total"
 )
 
 // engineMetrics holds the engine's pre-resolved instruments. The zero value
@@ -59,6 +66,26 @@ type engineMetrics struct {
 	cacheMisses    *obs.Counter
 	cacheEvictions *obs.Counter
 	cacheEntries   *obs.Gauge
+
+	fallbackCache    *obs.Counter
+	fallbackLastGood *obs.Counter
+	fallbackStatic   *obs.Counter
+	deadlineExceeded *obs.Counter
+}
+
+// fallbackCounter maps a degraded level to its labeled counter (nil, hence a
+// no-op, for fallback.None or when metrics are disabled).
+func (m *engineMetrics) fallbackCounter(lvl fallback.Level) *obs.Counter {
+	switch lvl {
+	case fallback.Cache:
+		return m.fallbackCache
+	case fallback.LastGood:
+		return m.fallbackLastGood
+	case fallback.Static:
+		return m.fallbackStatic
+	default:
+		return nil
+	}
 }
 
 func newEngineMetrics(reg *obs.Registry, policy Policy) engineMetrics {
@@ -83,8 +110,15 @@ func newEngineMetrics(reg *obs.Registry, policy Policy) engineMetrics {
 		cacheMisses:    reg.Counter(MetricCacheMissesTotal, "Decision-cache lookups that missed and re-solved."),
 		cacheEvictions: reg.Counter(MetricCacheEvictionsTotal, "Decision-cache LRU evictions at capacity."),
 		cacheEntries:   reg.Gauge(MetricCacheEntries, "Current decision-cache entry count."),
+
+		fallbackCache:    reg.Counter(MetricFallbackTotal, fallbackHelp, obs.L("level", fallback.Cache.String())),
+		fallbackLastGood: reg.Counter(MetricFallbackTotal, fallbackHelp, obs.L("level", fallback.LastGood.String())),
+		fallbackStatic:   reg.Counter(MetricFallbackTotal, fallbackHelp, obs.L("level", fallback.Static.String())),
+		deadlineExceeded: reg.Counter(MetricDeadlineExceededTotal, "Decisions cut off by the per-decision deadline."),
 	}
 }
+
+const fallbackHelp = "Degraded decisions by fallback ladder rung."
 
 // recordSSE charges one SSE solve's LP effort to the counters.
 func (m *engineMetrics) recordSSE(stats game.SolveStats) {

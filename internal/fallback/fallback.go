@@ -1,0 +1,135 @@
+// Package fallback implements the engine's graceful-degradation ladder.
+//
+// The paper's whole premise is that the warn/audit decision happens online,
+// while the access is in flight (§1, §6.6): a solver error or a slow solve
+// is not an inconvenience, it is "no decision at the moment of access". This
+// package therefore turns every failure of the primary SAG pipeline into a
+// deliberately degraded — but always produced — decision, descending a fixed
+// ladder:
+//
+//	Level 0 (None)     the primary pipeline succeeded within its deadline
+//	Level 1 (Cache)    reuse the most recent cached decision for the type
+//	Level 2 (LastGood) re-run the signaling stage on the last successfully
+//	                   solved θ vector
+//	Level 3 (Static)   a conservative static policy: audit with probability
+//	                   remaining-budget / expected-remaining-cost, never warn
+//
+// The never-warn choice at the bottom rung is justified by Theorem 2
+// ("signaling never hurts" — equivalently, not signaling is the worst case
+// the OSSP already dominates): silence plus a marginal audit probability is
+// exactly the no-signaling SSE posture, so the static rung degrades to the
+// paper's baseline game rather than to undefined behavior.
+//
+// The ladder itself is generic (Run); the engine in internal/core supplies
+// the rungs. Every rung is panic-contained, so an LP degeneracy or injected
+// fault (internal/faultinject) can never escape a Step.
+package fallback
+
+import (
+	"fmt"
+	"math"
+)
+
+// Level identifies how far down the degradation ladder a decision was
+// produced. The zero value None means the primary pipeline succeeded.
+type Level int
+
+const (
+	// None is the primary pipeline: no degradation.
+	None Level = iota
+	// Cache reused the most recent per-cycle cached decision for the
+	// alert's type.
+	Cache
+	// LastGood re-ran the signaling stage against the last successfully
+	// solved θ vector.
+	LastGood
+	// Static applied the conservative static policy (audit with probability
+	// budget-remaining / expected-remaining-cost, never warn).
+	Static
+)
+
+// String returns the metric-label spelling of the level, used as the
+// `level` label of sag_engine_fallback_total.
+func (l Level) String() string {
+	switch l {
+	case None:
+		return "none"
+	case Cache:
+		return "cache"
+	case LastGood:
+		return "last_good"
+	case Static:
+		return "static"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// Degraded reports whether the level is anything but the primary pipeline.
+func (l Level) Degraded() bool { return l != None }
+
+// Step is one rung of a degradation ladder: the level it produces and the
+// attempt that may fail (by error or panic).
+type Step[T any] struct {
+	Level Level
+	Try   func() (T, error)
+}
+
+// Run descends the ladder: each step is attempted in order with panic
+// containment, and the first success wins. When every step fails, the zero
+// value, the last step's level, and the last error are returned — callers
+// that end their ladder with an infallible step (the engine's static policy)
+// therefore always receive a usable value.
+func Run[T any](steps ...Step[T]) (T, Level, error) {
+	var (
+		zero T
+		last error
+		lvl  Level
+	)
+	for _, s := range steps {
+		lvl = s.Level
+		v, err := Attempt(s.Try)
+		if err == nil {
+			return v, s.Level, nil
+		}
+		last = err
+	}
+	if last == nil {
+		last = fmt.Errorf("fallback: empty ladder")
+	}
+	return zero, lvl, last
+}
+
+// Attempt runs try, converting a panic into an error so callers can treat
+// "the solver blew up" and "the solver returned an error" identically.
+func Attempt[T any](try func() (T, error)) (out T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("fallback: recovered panic: %v", r)
+		}
+	}()
+	return try()
+}
+
+// StaticAuditProbability is the bottom rung's audit probability: spend the
+// remaining budget evenly over the expected remaining audit cost,
+//
+//	p = clamp01(remaining / expectedRemainingCost).
+//
+// Degenerate inputs resolve conservatively: no budget means never audit;
+// budget with no expected future cost means audit surely (there is nothing
+// to save the budget for). NaN inputs yield 0 — charging budget on garbage
+// would double-count against later, healthier decisions.
+func StaticAuditProbability(remaining, expectedRemainingCost float64) float64 {
+	if math.IsNaN(remaining) || math.IsNaN(expectedRemainingCost) || remaining <= 0 {
+		return 0
+	}
+	if expectedRemainingCost <= 0 {
+		return 1
+	}
+	p := remaining / expectedRemainingCost
+	if p > 1 {
+		return 1
+	}
+	return p
+}

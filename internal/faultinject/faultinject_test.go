@@ -1,0 +1,100 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilPointIsInert(t *testing.T) {
+	var p *Point
+	if err := p.fire(nil); err != nil {
+		t.Fatalf("nil point fired: %v", err)
+	}
+	counts, calls := p.Counts()
+	if calls != 0 || len(counts) != 0 {
+		t.Fatalf("nil point counted: %v, %d", counts, calls)
+	}
+}
+
+func TestZeroConfigNeverFires(t *testing.T) {
+	p := New("quiet", Config{Seed: 1})
+	for i := 0; i < 1000; i++ {
+		if err := p.fire(nil); err != nil {
+			t.Fatalf("call %d: zero-rate point fired: %v", i, err)
+		}
+	}
+	counts, calls := p.Counts()
+	if calls != 1000 {
+		t.Fatalf("calls = %d, want 1000", calls)
+	}
+	for f, n := range counts {
+		if n != 0 {
+			t.Errorf("fault %v fired %d times with zero rates", f, n)
+		}
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	cfg := Config{Seed: 7, ErrorRate: 0.3}
+	a, b := New("a", cfg), New("b", cfg)
+	for i := 0; i < 500; i++ {
+		ea, eb := a.fire(nil), b.fire(nil)
+		if (ea == nil) != (eb == nil) {
+			t.Fatalf("call %d: schedules diverged (%v vs %v)", i, ea, eb)
+		}
+	}
+	ca, _ := a.Counts()
+	cb, _ := b.Counts()
+	if ca[FaultError] != cb[FaultError] || ca[FaultError] == 0 {
+		t.Fatalf("error counts diverged or zero: %d vs %d", ca[FaultError], cb[FaultError])
+	}
+}
+
+func TestErrorsWrapSentinel(t *testing.T) {
+	p := New("site", Config{Seed: 1, ErrorRate: 1})
+	err := p.fire(nil)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("injected error %v does not wrap ErrInjected", err)
+	}
+}
+
+func TestPanicCarriesSite(t *testing.T) {
+	p := New("boom-site", Config{Seed: 1, PanicRate: 1})
+	defer func() {
+		r := recover()
+		pv, ok := r.(*PanicValue)
+		if !ok || pv.Site != "boom-site" {
+			t.Fatalf("recovered %v, want *PanicValue for boom-site", r)
+		}
+	}()
+	_ = p.fire(nil)
+	t.Fatal("point with PanicRate 1 did not panic")
+}
+
+func TestLatencyObservesCancellation(t *testing.T) {
+	p := New("slow", Config{Seed: 1, LatencyRate: 1, Latency: time.Minute})
+	done := make(chan struct{})
+	close(done)
+	start := time.Now()
+	if err := p.fire(done); err != nil {
+		t.Fatalf("latency-only point errored: %v", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("canceled sleep still took %v", d)
+	}
+}
+
+func TestFaultStrings(t *testing.T) {
+	cases := map[Fault]string{
+		FaultError:   "error",
+		FaultLatency: "latency",
+		FaultPanic:   "panic",
+		Fault(9):     "Fault(9)",
+	}
+	for f, want := range cases {
+		if got := f.String(); got != want {
+			t.Errorf("Fault(%d).String() = %q, want %q", int(f), got, want)
+		}
+	}
+}

@@ -19,6 +19,7 @@
 package game
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -146,6 +147,14 @@ func (s *SolveStats) Accumulate(o SolveStats) {
 // SolveOnlineSSE computes the online SSE given the remaining audit budget
 // and the Poisson-distributed future alert counts per type (paper §3.1).
 func SolveOnlineSSE(inst *Instance, budget float64, futures []dist.Poisson) (*Result, error) {
+	return SolveOnlineSSECtx(context.Background(), inst, budget, futures)
+}
+
+// SolveOnlineSSECtx is SolveOnlineSSE with cooperative cancellation:
+// candidate LPs not yet started are skipped once ctx is done, in-flight
+// simplex solves abort at their next iteration check, and the ctx error is
+// returned. A context that can never be canceled costs nothing extra.
+func SolveOnlineSSECtx(ctx context.Context, inst *Instance, budget float64, futures []dist.Poisson) (*Result, error) {
 	if len(futures) != inst.NumTypes() {
 		return nil, fmt.Errorf("game: %d future distributions for %d types", len(futures), inst.NumTypes())
 	}
@@ -161,7 +170,7 @@ func SolveOnlineSSE(inst *Instance, budget float64, futures []dist.Poisson) (*Re
 		// zero-rate type is excluded from the attacker's menu.
 		attackable[t] = f.Lambda > 0
 	}
-	return solveSSE(inst, budget, coeffs, attackable)
+	return solveSSE(ctx, inst, budget, coeffs, attackable)
 }
 
 // SolveOfflineSSE computes the offline SSE baseline for a full audit cycle
@@ -187,7 +196,7 @@ func SolveOfflineSSE(inst *Instance, budget float64, counts []float64) (*Result,
 			coeffs[t] = 1
 		}
 	}
-	return solveSSE(inst, budget, coeffs, attackable)
+	return solveSSE(context.Background(), inst, budget, coeffs, attackable)
 }
 
 // solveSSE runs the multiple-LP method. coeffs[t] is the linear coverage
@@ -200,7 +209,13 @@ func SolveOfflineSSE(inst *Instance, budget float64, counts []float64) (*Result,
 // type order with the strong-SSE tie-break (lowest type index at equal
 // defender utility, within the 1e-12 comparison tolerance), so the parallel
 // and sequential paths produce bit-identical Results.
-func solveSSE(inst *Instance, budget float64, coeffs []float64, attackable []bool) (*Result, error) {
+//
+// Cancellation is cooperative at two grains: between candidates (a canceled
+// ctx stops new candidate solves from starting, via pool.ForEachCtx and the
+// per-candidate check below) and inside a candidate (lp.SolveCtx polls ctx
+// every few simplex iterations). Either way the reduction surfaces the ctx
+// error deterministically.
+func solveSSE(ctx context.Context, inst *Instance, budget float64, coeffs []float64, attackable []bool) (*Result, error) {
 	k := inst.NumTypes()
 	cands := make([]int, 0, k)
 	for t, a := range attackable {
@@ -219,11 +234,18 @@ func solveSSE(inst *Instance, budget float64, coeffs []float64, attackable []boo
 
 	results := make([]*Result, k)
 	feasible := make([]bool, k)
+	ran := make([]bool, k)
 	errs := make([]error, k)
 	var simplex lp.AtomicStats
 	solve := func(i int) {
 		t := cands[i]
-		res, lpStats, ok, err := solveCandidate(inst, budget, coeffs, attackable, t)
+		// Cooperative cancellation between candidates: a candidate that has
+		// not started when the deadline fires is never solved.
+		if ctx.Err() != nil {
+			return
+		}
+		res, lpStats, ok, err := solveCandidate(ctx, inst, budget, coeffs, attackable, t)
+		ran[t] = true
 		if err != nil {
 			errs[t] = err
 			return
@@ -239,14 +261,26 @@ func solveSSE(inst *Instance, budget float64, coeffs []float64, attackable []boo
 			solve(i)
 		}
 	} else {
-		pool.Shared().ForEach(len(cands), w, solve)
+		// ForEachCtx additionally skips scheduling once ctx is done; the
+		// ran[] bookkeeping below distinguishes skipped from infeasible.
+		_ = pool.Shared().ForEachCtx(ctx, len(cands), w, solve)
 	}
 
 	// Deterministic reduction: errors and candidates are examined in
-	// ascending type order regardless of solve scheduling.
+	// ascending type order regardless of solve scheduling. A candidate that
+	// never ran means the context fired mid-solve — a partial reduction
+	// could silently crown the wrong best response, so cancellation is
+	// surfaced as an error and the caller decides how to degrade.
 	var stats SolveStats
 	best := (*Result)(nil)
 	for _, t := range cands {
+		if !ran[t] {
+			err := ctx.Err()
+			if err == nil {
+				err = context.Canceled
+			}
+			return nil, fmt.Errorf("game: online SSE canceled before candidate %d: %w", t, err)
+		}
 		if errs[t] != nil {
 			return nil, errs[t]
 		}
@@ -272,7 +306,7 @@ func solveSSE(inst *Instance, budget float64, coeffs []float64, attackable []boo
 
 // solveCandidate solves LP (2) assuming alert type t is the attacker's best
 // response. Variables are the budget allocations B^0..B^{k-1}.
-func solveCandidate(inst *Instance, budget float64, coeffs []float64, attackable []bool, t int) (*Result, lp.Stats, bool, error) {
+func solveCandidate(ctx context.Context, inst *Instance, budget float64, coeffs []float64, attackable []bool, t int) (*Result, lp.Stats, bool, error) {
 	k := inst.NumTypes()
 	prob := lp.New(lp.Maximize, k)
 
@@ -333,7 +367,7 @@ func solveCandidate(inst *Instance, budget float64, coeffs []float64, attackable
 		return nil, lp.Stats{}, false, err
 	}
 
-	sol, err := lp.Solve(prob)
+	sol, err := lp.SolveCtx(ctx, prob)
 	if err != nil {
 		return nil, lp.Stats{}, false, err
 	}

@@ -1,6 +1,7 @@
 package game
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"reflect"
@@ -129,7 +130,7 @@ func TestZeroCoefficientBounds(t *testing.T) {
 	for _, zero := range []float64{0, math.Copysign(0, -1)} {
 		coeffs := []float64{0.8, zero, 0.5}
 		attackable := []bool{true, true, true}
-		res, err := solveSSE(inst, budget, coeffs, attackable)
+		res, err := solveSSE(context.Background(), inst, budget, coeffs, attackable)
 		if err != nil {
 			t.Fatalf("zero=%g: solveSSE failed: %v", zero, err)
 		}

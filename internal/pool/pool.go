@@ -21,6 +21,7 @@
 package pool
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -145,4 +146,28 @@ offer:
 	if j.panicked {
 		panic(j.panicVal)
 	}
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: once ctx is done,
+// indices that have not started yet are skipped (each slot still completes
+// immediately so the call returns promptly), and ctx.Err() is returned.
+// Indices already executing run to completion — fn itself is responsible
+// for observing ctx inside long-running work. A nil error means every index
+// ran. This is the entry point the candidate-LP fan-out uses so a decision
+// deadline stops scheduling new simplex solves between candidates.
+func (p *Pool) ForEachCtx(ctx context.Context, n, max int, fn func(int)) error {
+	done := ctx.Done()
+	if done == nil {
+		p.ForEach(n, max, fn)
+		return nil
+	}
+	p.ForEach(n, max, func(i int) {
+		select {
+		case <-done:
+			// Canceled: skip the work but let the job counter advance.
+		default:
+			fn(i)
+		}
+	})
+	return ctx.Err()
 }

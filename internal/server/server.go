@@ -12,11 +12,20 @@
 //	POST /v1/cycle/new     — start the next audit cycle with a fresh budget
 //	GET  /v1/status        — budget, counts, and configuration snapshot
 //	GET  /v1/metrics       — Prometheus text exposition (HTTP + engine + solver)
+//	GET  /v1/healthz       — liveness probe (always 200 while serving)
+//	GET  /v1/readyz        — readiness probe (503 once draining)
 //
 // The server serializes all engine access through a mutex: the engine is
 // deliberately single-threaded per audit cycle (decisions are order-
 // dependent through the budget), and the per-decision cost is tens of
 // microseconds, far below any plausible request rate in this domain.
+//
+// The serving path is hardened for production shapes: the API is wrapped in
+// panic recovery and an optional per-request timeout, each engine decision
+// can carry a deadline with graceful degradation (the fallback ladder in
+// internal/fallback), and Run provides the full listener lifecycle — server
+// timeouts, health-gated draining, and coordinated shutdown of the main and
+// debug listeners.
 package server
 
 import (
@@ -26,6 +35,7 @@ import (
 	"math/rand"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/auditgames/sag/internal/alerts"
@@ -59,6 +69,14 @@ type Config struct {
 	// shared with the game engine. When nil the server creates a private
 	// registry, so the endpoint is always live.
 	Metrics *obs.Registry
+	// DecisionDeadline bounds each engine decision (see
+	// core.Config.DecisionDeadline). The server always enables the engine's
+	// graceful degradation, so an expired deadline yields a degraded
+	// decision, never a 5xx. Zero means no per-decision deadline.
+	DecisionDeadline time.Duration
+	// RequestTimeout bounds each request end to end; requests that exceed it
+	// are answered 503. Zero disables the per-request timeout.
+	RequestTimeout time.Duration
 }
 
 // Server is the HTTP facade. Create with New and mount via Handler.
@@ -74,6 +92,7 @@ type Server struct {
 	alerts   int
 	warned   int
 	quits    int
+	ready    atomic.Bool
 }
 
 // New validates the configuration and builds the server.
@@ -100,6 +119,12 @@ func New(cfg Config) (*Server, error) {
 		Rand:      rand.New(rand.NewSource(cfg.Seed)),
 		Cache:     cfg.Cache,
 		Metrics:   met.reg,
+		// The serving path never trades availability for optimality: a
+		// failed or slow solve degrades down the fallback ladder (cache →
+		// last-good θ → static never-warn policy) instead of surfacing as an
+		// error to the EMR front end.
+		DecisionDeadline: cfg.DecisionDeadline,
+		Fallback:         true,
 	})
 	if err != nil {
 		return nil, err
@@ -119,14 +144,29 @@ func New(cfg Config) (*Server, error) {
 		}
 		idx[id] = i
 	}
-	return &Server{
+	s := &Server{
 		detector: detector,
 		engine:   engine,
 		cfg:      cfg,
 		met:      met,
 		typeIdx:  idx,
 		flagged:  make(map[int]bool),
-	}, nil
+	}
+	s.ready.Store(true)
+	return s, nil
+}
+
+// SetReady flips the readiness gate served by GET /v1/readyz. The graceful
+// shutdown path flips it false before draining so load balancers stop
+// routing new traffic while in-flight requests finish.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// CycleSummary returns the engine's aggregate view of the current cycle —
+// the shutdown path logs it so an interrupted cycle is not lost silently.
+func (s *Server) CycleSummary() core.CycleSummary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.engine.Summary()
 }
 
 // AccessRequest is the body of POST /v1/access.
@@ -151,6 +191,10 @@ type AccessResponse struct {
 	Flagged bool `json:"flagged,omitempty"`
 	// RemainingBudget is the post-decision audit budget.
 	RemainingBudget float64 `json:"remaining_budget"`
+	// Fallback names the degradation rung ("cache", "last_good", "static")
+	// when the decision pipeline could not complete in time; empty for a
+	// fully solved decision.
+	Fallback string `json:"fallback,omitempty"`
 }
 
 // QuitRequest is the body of POST /v1/quit: a warned user abandoned the
@@ -191,7 +235,10 @@ type Status struct {
 
 // Handler returns the HTTP handler with all routes mounted. Every route is
 // wrapped in the metrics middleware (request count by status, latency
-// histogram); /v1/metrics serves the shared registry.
+// histogram); /v1/metrics serves the shared registry. The whole API is
+// wrapped in the panic-recovery middleware and, when Config.RequestTimeout
+// is set, the per-request timeout — except the health probes, which must
+// answer even when the API is saturated.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("POST /v1/access", s.instrument("/v1/access", s.handleAccess))
@@ -200,7 +247,40 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /v1/cycle/new", s.instrument("/v1/cycle/new", s.handleNewCycle))
 	mux.Handle("GET /v1/status", s.instrument("/v1/status", s.handleStatus))
 	mux.Handle("GET /v1/metrics", s.met.reg.Handler())
-	return mux
+
+	var api http.Handler = mux
+	if s.cfg.RequestTimeout > 0 {
+		api = http.TimeoutHandler(api, s.cfg.RequestTimeout,
+			`{"error":"request timed out"}`)
+	}
+	api = s.recovery(api)
+
+	root := http.NewServeMux()
+	root.Handle("GET /v1/healthz", http.HandlerFunc(s.handleHealthz))
+	root.Handle("GET /v1/readyz", http.HandlerFunc(s.handleReadyz))
+	root.Handle("/", api)
+	return root
+}
+
+// handleHealthz is the liveness probe: the process is up and serving.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{Status: "ok"})
+}
+
+// handleReadyz is the readiness probe: 200 while accepting traffic, 503
+// once graceful shutdown has begun (see SetReady).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, struct {
+			Status string `json:"status"`
+		}{Status: "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{Status: "ready"})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -262,13 +342,16 @@ func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	d, err := s.engine.Process(core.Alert{Type: idx, Time: now})
+	d, err := s.engine.ProcessContext(r.Context(), core.Alert{Type: idx, Time: now})
 	if err != nil {
 		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
 		return
 	}
 	resp.Warn = d.Warned
 	resp.RemainingBudget = d.BudgetAfter
+	if d.Fallback.Degraded() {
+		resp.Fallback = d.Fallback.String()
+	}
 	if d.Warned {
 		s.warned++
 		s.met.warned.Inc()

@@ -43,6 +43,7 @@ import (
 
 	"github.com/auditgames/sag/internal/core"
 	"github.com/auditgames/sag/internal/dist"
+	"github.com/auditgames/sag/internal/fallback"
 	"github.com/auditgames/sag/internal/game"
 	"github.com/auditgames/sag/internal/history"
 	"github.com/auditgames/sag/internal/payoff"
@@ -118,6 +119,18 @@ type (
 
 	// AuditOutcome is an end-of-cycle retrospective audit decision.
 	AuditOutcome = core.AuditOutcome
+
+	// FallbackLevel records how a Decision was produced when the engine's
+	// graceful degradation is enabled (EngineConfig.Fallback): FallbackNone
+	// for the primary pipeline, or the ladder rung — cached decision,
+	// last-good equilibrium, static never-warn policy — that answered after
+	// the pipeline failed or exceeded EngineConfig.DecisionDeadline.
+	FallbackLevel = fallback.Level
+
+	// SSESolveFunc is the engine's injectable online-SSE solver signature
+	// (EngineConfig.SSESolve); used for fault injection and solver
+	// substitution.
+	SSESolveFunc = core.SSESolveFunc
 )
 
 // Policies.
@@ -126,6 +139,21 @@ const (
 	PolicyOSSP = core.PolicyOSSP
 	// PolicySSE disables signaling (the online SSE baseline).
 	PolicySSE = core.PolicySSE
+)
+
+// Fallback ladder rungs, ordered by decreasing fidelity.
+const (
+	// FallbackNone marks a fully solved decision.
+	FallbackNone = fallback.None
+	// FallbackCache reused the freshest cached decision for the alert type.
+	FallbackCache = fallback.Cache
+	// FallbackLastGood reused the last successfully solved equilibrium's
+	// coverage and re-ran only the signaling stage.
+	FallbackLastGood = fallback.LastGood
+	// FallbackStatic fell back to the conservative static policy: audit
+	// with probability remaining-budget / expected-remaining-cost, never
+	// warn (Theorem 2 makes the missing signal safe, merely suboptimal).
+	FallbackStatic = fallback.Static
 )
 
 // DefaultRollbackThreshold is the knowledge-rollback threshold the paper
