@@ -1,0 +1,196 @@
+// Server-level benchmarks: decision throughput through the full HTTP
+// handler path (detector → engine → JSON), serial and at 8 concurrent
+// clients.
+//
+// The concurrent pair injects a fixed-latency solver (SSESolve seam), so
+// ns/op measures whether slow solves OVERLAP — the property the old global
+// server lock destroyed — independent of core count and LP scheduling
+// noise. BenchmarkServerConcurrentAccess is watched by the CI regression
+// gate: re-serializing the hot path collapses it to the Serialized arm's
+// throughput (≈ benchServerClients× slower), far beyond the gate threshold.
+package sag_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	sag "github.com/auditgames/sag"
+	"github.com/auditgames/sag/internal/alerts"
+	"github.com/auditgames/sag/internal/dist"
+	"github.com/auditgames/sag/internal/emr"
+	"github.com/auditgames/sag/internal/game"
+	"github.com/auditgames/sag/internal/server"
+	"github.com/auditgames/sag/internal/sim"
+)
+
+// benchServerClients is the concurrency level of the concurrent benchmarks —
+// the "8 concurrent clients" serving shape.
+const benchServerClients = 8
+
+// benchSolveLatency is the injected per-solve latency: a stand-in for the
+// paper's ≈20 ms/alert LP time, scaled down to keep benchmark runs short.
+const benchSolveLatency = 2 * time.Millisecond
+
+// slowVacuousSolver sleeps benchSolveLatency and returns a vacuous
+// equilibrium. Vacuous decisions charge nothing, so the budget never moves,
+// every request sees an identical engine state, and throughput differences
+// come purely from whether solves overlap — no optimistic-commit retries,
+// no cache interplay.
+func slowVacuousSolver(ctx context.Context, inst *game.Instance, budget float64, futures []dist.Poisson) (*game.Result, error) {
+	select {
+	case <-time.After(benchSolveLatency):
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return &game.Result{BestType: -1, Coverage: make([]float64, inst.NumTypes())}, nil
+}
+
+// newBenchServerHandler builds the serving stack over the small planted
+// world. solve overrides the SSE solver (nil = the real LP pipeline).
+func newBenchServerHandler(b *testing.B, cache sag.CacheConfig, solve sag.SSESolveFunc) (http.Handler, int, int) {
+	b.Helper()
+	world, err := emr.NewWorld(emr.WorldConfig{Seed: 5, Employees: 30, Patients: 100, Departments: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bgE, bgP := world.NumEmployees(), world.NumPatients()
+	if _, err := emr.NewGenerator(world, emr.GeneratorConfig{Seed: 5, PairsPerKind: 3, BackgroundPerDay: 1}); err != nil {
+		b.Fatal(err)
+	}
+	inst, err := sim.Table1Instance(sim.AllTable1TypeIDs())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rates := []float64{196.57, 29.02, 140.46, 10.84, 25.43, 15.14, 43.27}
+	srv, err := server.New(server.Config{
+		World:    world,
+		Taxonomy: alerts.NewTable1Taxonomy(),
+		TypeIDs:  sim.AllTable1TypeIDs(),
+		Instance: inst,
+		Budget:   1e9,
+		Estimator: sag.EstimatorFunc(func(time.Duration) ([]float64, error) {
+			out := make([]float64, len(rates))
+			copy(out, rates)
+			return out, nil
+		}),
+		Seed:     1,
+		Cache:    cache,
+		Clock:    func() time.Duration { return 9 * time.Hour },
+		SSESolve: solve,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return srv.Handler(), bgE, bgP
+}
+
+// accessBodies pre-encodes one request per planted relation kind so the
+// benchmark exercises all seven alert types (distinct decision states — no
+// single-flight coalescing) without JSON encoding on the hot path.
+func accessBodies(bgE, bgP int) [][]byte {
+	bodies := make([][]byte, 7)
+	for k := 0; k < 7; k++ {
+		// Pairs are planted kind by kind, PairsPerKind (3) at a time; the
+		// first pair of kind k is (bgE+3k, bgP+3k).
+		body, _ := json.Marshal(server.AccessRequest{EmployeeID: bgE + 3*k, PatientID: bgP + 3*k})
+		bodies[k] = body
+	}
+	return bodies
+}
+
+func doAccess(b *testing.B, h http.Handler, body []byte) {
+	req := httptest.NewRequest(http.MethodPost, "/v1/access", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("access status %d: %s", rec.Code, rec.Body.Bytes())
+	}
+}
+
+// runConcurrentAccess drives b.N requests through h from benchServerClients
+// goroutines, each pinned to its own alert type.
+func runConcurrentAccess(b *testing.B, h http.Handler, bodies [][]byte) {
+	var next atomic.Int64
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < benchServerClients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			body := bodies[w%7]
+			for next.Add(1) <= int64(b.N) {
+				doAccess(b, h, body)
+			}
+		}(w)
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// serialized wraps h in one global mutex — the locking discipline of the
+// pre-PR-4 handler, which held the server mutex across detector, solve, and
+// JSON write. Kept as the in-tree baseline the unserialized path is
+// measured against.
+func serialized(h http.Handler) http.Handler {
+	var mu sync.Mutex
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		h.ServeHTTP(w, r)
+	})
+}
+
+// BenchmarkServerAccess is the single-client baseline on the real pipeline
+// (quantized decision cache on, steady state all hits): the latency a lone
+// caller sees. Unserializing the hot path must keep this within noise.
+func BenchmarkServerAccess(b *testing.B) {
+	h, bgE, bgP := newBenchServerHandler(b, sag.CacheConfig{Size: 64, BudgetQuantum: 1e6, RateQuantum: 1}, nil)
+	bodies := accessBodies(bgE, bgP)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doAccess(b, h, bodies[i%7])
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkServerSlowSolveAccess is the single-client arm of the
+// fixed-latency pair: ns/op ≈ benchSolveLatency plus the serving path. The
+// concurrent arm must beat this by ≈ benchServerClients×.
+func BenchmarkServerSlowSolveAccess(b *testing.B) {
+	h, bgE, bgP := newBenchServerHandler(b, sag.CacheConfig{}, slowVacuousSolver)
+	bodies := accessBodies(bgE, bgP)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		doAccess(b, h, bodies[i%7])
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkServerConcurrentAccess: 8 clients, every request a
+// benchSolveLatency solve of its own type. Overlapping solves put ns/op at
+// ≈ benchSolveLatency/8; a re-serialized hot path puts it back at
+// ≈ benchSolveLatency. The CI benchgate watches this benchmark.
+func BenchmarkServerConcurrentAccess(b *testing.B) {
+	h, bgE, bgP := newBenchServerHandler(b, sag.CacheConfig{}, slowVacuousSolver)
+	bodies := accessBodies(bgE, bgP)
+	runConcurrentAccess(b, h, bodies)
+}
+
+// BenchmarkServerConcurrentAccessSerialized is the same workload behind a
+// global handler lock — the pre-PR-4 serving discipline. The ratio of this
+// benchmark to BenchmarkServerConcurrentAccess is the unserialization win.
+func BenchmarkServerConcurrentAccessSerialized(b *testing.B) {
+	h, bgE, bgP := newBenchServerHandler(b, sag.CacheConfig{}, slowVacuousSolver)
+	bodies := accessBodies(bgE, bgP)
+	runConcurrentAccess(b, serialized(h), bodies)
+}

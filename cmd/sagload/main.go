@@ -1,0 +1,193 @@
+// Command sagload drives concurrent /v1/access traffic at a SAG server and
+// reports decision throughput and latency percentiles. It exists to measure
+// the serving path under the load shape the paper's deployment implies —
+// many EMR front ends posting accesses at once — and to verify that slow
+// LP solves overlap instead of queueing behind a global lock.
+//
+// Usage:
+//
+//	sagload -url http://localhost:8080 -workers 8 -duration 10s
+//	sagload -self -workers 8 -duration 5s   # spin an in-process server
+//
+// Each worker is pinned to one planted alert type: worker w posts the pair
+// (employee+stride·(w mod types), patient+stride·(w mod types)). The
+// defaults match sagserver's world (first planted pair 400/2000, 120 pairs
+// per kind); point -employee/-patient/-stride elsewhere for other worlds.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/auditgames/sag/internal/alerts"
+	"github.com/auditgames/sag/internal/core"
+	"github.com/auditgames/sag/internal/emr"
+	"github.com/auditgames/sag/internal/server"
+	"github.com/auditgames/sag/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal("sagload: ", err)
+	}
+}
+
+func run() error {
+	var (
+		url      = flag.String("url", "http://localhost:8080", "target server base URL")
+		self     = flag.Bool("self", false, "ignore -url and load an in-process server over a small synthetic world")
+		workers  = flag.Int("workers", 8, "concurrent clients")
+		duration = flag.Duration("duration", 10*time.Second, "how long to drive load")
+		employee = flag.Int("employee", 400, "employee ID of the first planted pair")
+		patient  = flag.Int("patient", 2000, "patient ID of the first planted pair")
+		stride   = flag.Int("stride", 120, "ID distance between planted pairs of consecutive kinds (the server's pairs-per-kind)")
+		types    = flag.Int("types", 7, "number of planted alert types to cycle workers across")
+		budget   = flag.Float64("budget", 1e9, "audit budget for the in-process server (-self)")
+	)
+	flag.Parse()
+
+	base := *url
+	if *self {
+		ts, bgE, bgP, err := selfServer(*budget)
+		if err != nil {
+			return err
+		}
+		defer ts.Close()
+		base = ts.URL
+		*employee, *patient, *stride = bgE, bgP, 3
+		log.Printf("in-process server at %s (planted pairs from %d/%d, stride 3)", base, bgE, bgP)
+	}
+
+	bodies := make([][]byte, *types)
+	for k := range bodies {
+		b, err := json.Marshal(server.AccessRequest{
+			EmployeeID: *employee + *stride*k,
+			PatientID:  *patient + *stride*k,
+		})
+		if err != nil {
+			return err
+		}
+		bodies[k] = b
+	}
+
+	type workerStats struct {
+		lat           []time.Duration
+		alerts, warns int64
+		errs, non200  int64
+	}
+	stats := make([]workerStats, *workers)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := &stats[w]
+			body := bodies[w%*types]
+			client := &http.Client{Timeout: 30 * time.Second}
+			for !stop.Load() {
+				t0 := time.Now()
+				resp, err := client.Post(base+"/v1/access", "application/json", bytes.NewReader(body))
+				if err != nil {
+					st.errs++
+					continue
+				}
+				var out server.AccessResponse
+				decErr := json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				st.lat = append(st.lat, time.Since(t0))
+				if resp.StatusCode != http.StatusOK || decErr != nil {
+					st.non200++
+					continue
+				}
+				if out.Alert {
+					st.alerts++
+				}
+				if out.Warn {
+					st.warns++
+				}
+			}
+		}(w)
+	}
+	time.Sleep(*duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	var alerts, warns, errs, non200 int64
+	for i := range stats {
+		all = append(all, stats[i].lat...)
+		alerts += stats[i].alerts
+		warns += stats[i].warns
+		errs += stats[i].errs
+		non200 += stats[i].non200
+	}
+	if len(all) == 0 {
+		return fmt.Errorf("no requests completed (%d transport errors)", errs)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(all)-1))
+		return all[i]
+	}
+
+	fmt.Fprintf(os.Stdout, "workers        %d\n", *workers)
+	fmt.Fprintf(os.Stdout, "duration       %v\n", elapsed.Round(time.Millisecond))
+	fmt.Fprintf(os.Stdout, "requests       %d (%d alerts, %d warned, %d non-200, %d transport errors)\n",
+		len(all), alerts, warns, non200, errs)
+	fmt.Fprintf(os.Stdout, "throughput     %.1f req/s\n", float64(len(all))/elapsed.Seconds())
+	fmt.Fprintf(os.Stdout, "latency p50    %v\n", pct(0.50).Round(time.Microsecond))
+	fmt.Fprintf(os.Stdout, "latency p90    %v\n", pct(0.90).Round(time.Microsecond))
+	fmt.Fprintf(os.Stdout, "latency p99    %v\n", pct(0.99).Round(time.Microsecond))
+	fmt.Fprintf(os.Stdout, "latency max    %v\n", all[len(all)-1].Round(time.Microsecond))
+	return nil
+}
+
+// selfServer builds a small in-process SAG server (fixed-rate estimator,
+// quantized decision cache) so sagload can run without a sagserver target.
+func selfServer(budget float64) (*httptest.Server, int, int, error) {
+	world, err := emr.NewWorld(emr.WorldConfig{Seed: 5, Employees: 30, Patients: 100, Departments: 4})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	bgE, bgP := world.NumEmployees(), world.NumPatients()
+	if _, err := emr.NewGenerator(world, emr.GeneratorConfig{Seed: 5, PairsPerKind: 3, BackgroundPerDay: 1}); err != nil {
+		return nil, 0, 0, err
+	}
+	inst, err := sim.Table1Instance(sim.AllTable1TypeIDs())
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	rates := []float64{196.57, 29.02, 140.46, 10.84, 25.43, 15.14, 43.27}
+	srv, err := server.New(server.Config{
+		World:    world,
+		Taxonomy: alerts.NewTable1Taxonomy(),
+		TypeIDs:  sim.AllTable1TypeIDs(),
+		Instance: inst,
+		Budget:   budget,
+		Estimator: core.EstimatorFunc(func(time.Duration) ([]float64, error) {
+			out := make([]float64, len(rates))
+			copy(out, rates)
+			return out, nil
+		}),
+		Seed:  1,
+		Cache: core.CacheConfig{Size: 64, BudgetQuantum: 1e6, RateQuantum: 1},
+		Clock: func() time.Duration { return 9 * time.Hour },
+	})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return httptest.NewServer(srv.Handler()), bgE, bgP, nil
+}

@@ -122,7 +122,7 @@ func run() error {
 	s := engine.Summary()
 	fmt.Printf("\nbudget spent: %.2f / %.0f analyst-hours\n", s.BudgetSpent, budget)
 	fmt.Printf("mean utility: %.1f with signaling vs %.1f without (gain %+.1f per alert)\n",
-		s.MeanOSSPUtilty, s.MeanSSEUtility, s.MeanOSSPUtilty-s.MeanSSEUtility)
+		s.MeanOSSPUtility, s.MeanSSEUtility, s.MeanOSSPUtility-s.MeanSSEUtility)
 
 	// Show where the equilibrium put the attacker: the last decision's SSE
 	// holds the final coverage vector.

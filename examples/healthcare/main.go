@@ -106,7 +106,7 @@ func run() error {
 		s.Alerts, s.Warnings, s.SAGEngaged)
 	fmt.Printf("budget spent: %.2f of %d\n", s.BudgetSpent, budget)
 	fmt.Printf("mean auditor utility: %.2f with signaling vs %.2f without (gain %+.2f per alert)\n",
-		s.MeanOSSPUtilty, s.MeanSSEUtility, s.MeanOSSPUtilty-s.MeanSSEUtility)
+		s.MeanOSSPUtility, s.MeanSSEUtility, s.MeanOSSPUtility-s.MeanSSEUtility)
 	return nil
 }
 

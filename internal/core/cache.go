@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // CacheConfig configures the engine's per-cycle decision cache.
@@ -68,10 +69,14 @@ type cacheEntry struct {
 }
 
 // decisionCache is a fixed-capacity LRU map from encoded game state to a
-// Decision value. It is not safe for concurrent use on its own — it lives
-// inside an Engine, whose mutex serializes every access.
+// Decision value. It carries its own mutex: since the engine stopped holding
+// its budget lock across the solve pipeline, cache lookups happen both
+// inside the engine's critical section (the degraded ladder) and outside it
+// (the optimistic decide path), so the cache serializes itself. Lock order:
+// the engine's mutex may be held when acquiring mu, never the reverse.
 type decisionCache struct {
 	cfg       CacheConfig
+	mu        sync.Mutex
 	order     *list.List // front = most recently used
 	byKey     map[string]*list.Element
 	hits      uint64
@@ -96,21 +101,30 @@ func quantize(v, q float64) uint64 {
 	return uint64(int64(math.Round(v / q)))
 }
 
-// key encodes (type, quantized budget, quantized rates) into a compact
-// binary string usable as a map key.
-func (c *decisionCache) key(alertType int, budget float64, rates []float64) string {
+// stateKey encodes (type, quantized budget, quantized rates) into a compact
+// binary string. It is the canonical identity of a decision state: the
+// cache, the in-flight solve coalescing, and the engine's optimistic commit
+// check all agree on it, so "same state" means the same thing everywhere.
+func stateKey(alertType int, budget float64, rates []float64, budgetQ, rateQ float64) string {
 	buf := make([]byte, 8*(2+len(rates)))
 	binary.LittleEndian.PutUint64(buf[0:], uint64(alertType))
-	binary.LittleEndian.PutUint64(buf[8:], quantize(budget, c.cfg.BudgetQuantum))
+	binary.LittleEndian.PutUint64(buf[8:], quantize(budget, budgetQ))
 	for i, r := range rates {
-		binary.LittleEndian.PutUint64(buf[16+8*i:], quantize(r, c.cfg.RateQuantum))
+		binary.LittleEndian.PutUint64(buf[16+8*i:], quantize(r, rateQ))
 	}
 	return string(buf)
+}
+
+// key encodes the state under the cache's configured quanta.
+func (c *decisionCache) key(alertType int, budget float64, rates []float64) string {
+	return stateKey(alertType, budget, rates, c.cfg.BudgetQuantum, c.cfg.RateQuantum)
 }
 
 // get returns a copy of the cached decision for key, if present, promoting
 // the entry to most-recently-used.
 func (c *decisionCache) get(key string) (Decision, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	el, ok := c.byKey[key]
 	if !ok {
 		c.misses++
@@ -128,6 +142,8 @@ func (c *decisionCache) get(key string) (Decision, bool) {
 // is the best stand-in the cycle has. It does not touch LRU order or the
 // hit/miss counters — degraded reuse is not a cache hit.
 func (c *decisionCache) latestForType(alertType int) (Decision, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for el := c.order.Front(); el != nil; el = el.Next() {
 		if ent := el.Value.(*cacheEntry); ent.d.Alert.Type == alertType {
 			return ent.d, true
@@ -139,6 +155,8 @@ func (c *decisionCache) latestForType(alertType int) (Decision, bool) {
 // put stores a copy of d under key, evicting the least-recently-used entry
 // at capacity. It reports whether an eviction happened.
 func (c *decisionCache) put(key string, d Decision) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {
 		el.Value.(*cacheEntry).d = d
 		c.order.MoveToFront(el)
@@ -158,12 +176,20 @@ func (c *decisionCache) put(key string, d Decision) bool {
 // clear drops every entry (new audit cycle); the effectiveness counters are
 // cumulative across cycles and survive.
 func (c *decisionCache) clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.order.Init()
 	clear(c.byKey)
 }
 
-func (c *decisionCache) len() int { return c.order.Len() }
+func (c *decisionCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
 
 func (c *decisionCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: c.order.Len()}
 }

@@ -190,16 +190,40 @@ type Decision struct {
 
 // Engine executes one audit cycle online.
 //
-// Concurrency contract: every exported method serializes on an internal
-// mutex, so an Engine may be shared across goroutines (the HTTP server
-// shares one across request handlers). Decisions are order-dependent
-// through the remaining budget, so concurrent Process calls are linearized
-// in lock-acquisition order — callers that need a *specific* interleaving
-// (the simulation harness replaying a recorded day, for example) must still
-// serialize externally. The slice returned by Decisions is owned by the
-// engine and must not be read concurrently with Process/NewCycle calls.
+// Concurrency contract: every exported method is safe for concurrent use,
+// and — unlike earlier revisions, which held one mutex across the whole
+// decision — the expensive pipeline (estimation, the SSE multiple-LP solve,
+// the signaling program) runs OUTSIDE the engine's budget lock. Process is
+// optimistic: it snapshots the remaining budget, solves at that snapshot
+// concurrently with other decisions, and commits under the lock only if the
+// budget is still in the same (cache-quantized) bucket; otherwise it
+// re-solves, accepting a near-state solve after a bounded number of retries
+// (the same staleness the decision cache's quantization and the last-good
+// fallback rung already embrace). Identical in-flight states are coalesced
+// so a burst of same-type alerts pays for one solve. A NewCycle racing a
+// decision bumps the cycle epoch and the decision fails with
+// ErrCycleRolledOver instead of charging the new cycle's budget.
+//
+// Single-threaded callers observe exactly the sequential semantics: with no
+// concurrent Process call the snapshot always matches the commit state, so
+// results (including the RNG stream) are bit-identical to the serialized
+// engine. Decisions remain order-dependent through the remaining budget, so
+// callers that need a *specific* interleaving (the simulation harness
+// replaying a recorded day, for example) must still serialize externally.
+// The slice returned by Decisions is owned by the engine and must not be
+// read concurrently with Process/NewCycle calls.
+//
+// Lock hierarchy (acquire top to bottom, never upward):
+//
+//	mu     — budget chain: budget, initial, cycle, decisions, rng,
+//	         lastSSE/lastRates, and every commit
+//	cache  — the decision cache's own mutex (self-locking; reached both
+//	         with and without mu held)
+//	estMu  — serializes the (possibly stateful) estimator
+//	flight — the in-flight solve registry (never held during a solve)
 type Engine struct {
 	mu        sync.Mutex
+	estMu     sync.Mutex
 	inst      *game.Instance
 	est       Estimator
 	policy    Policy
@@ -211,8 +235,10 @@ type Engine struct {
 	sseSolve  SSESolveFunc
 	budget    float64
 	initial   float64
+	cycle     uint64 // epoch, bumped by NewCycle; guarded by mu
 	decisions []Decision
 	cache     *decisionCache
+	flight    flightGroup
 	// lastSSE / lastRates feed the degraded rungs: the most recent
 	// successfully solved equilibrium (for the last-good-θ rung) and the
 	// most recent successful future-rate estimate (for the static rung's
@@ -223,6 +249,20 @@ type Engine struct {
 	lastRates []float64
 	met       engineMetrics
 }
+
+// ErrCycleRolledOver reports that NewCycle reset the engine between a
+// decision's budget snapshot and its commit: the solve answered the previous
+// cycle's game, so committing it would charge the new cycle's budget for an
+// alert that belongs to the old one. Callers (the HTTP server) surface it as
+// a conflict; the alert can be resubmitted against the new cycle.
+var ErrCycleRolledOver = errors.New("core: audit cycle rolled over during decision")
+
+// maxCommitRetries bounds how many times a decision re-solves because
+// concurrent commits moved the budget out of the solved bucket. Past the
+// bound the near-state solve is committed anyway (counted in
+// sag_engine_stale_commits_total) so sustained contention degrades to
+// bounded staleness instead of livelock.
+const maxCommitRetries = 2
 
 // NewEngine validates cfg and returns a ready Engine.
 func NewEngine(cfg Config) (*Engine, error) {
@@ -290,6 +330,7 @@ func (e *Engine) NewCycle(budget float64) error {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.cycle++ // invalidate in-flight decisions: they solved the old cycle's game
 	e.budget = budget
 	e.initial = budget
 	e.decisions = e.decisions[:0]
@@ -334,15 +375,18 @@ func (e *Engine) Process(a Alert) (*Decision, error) {
 // enabled (Config.Fallback), any pipeline failure — estimator error, solver
 // error or panic, expired deadline — is converted into a degraded decision
 // via the internal/fallback ladder, so the only errors ProcessContext can
-// return are structurally invalid alerts (type out of range). Without
-// Fallback, errors propagate exactly as before.
+// return are structurally invalid alerts (type out of range) and
+// ErrCycleRolledOver (a NewCycle raced the decision). Without Fallback,
+// pipeline errors propagate exactly as before.
 //
 // Budget accounting is identical on every path: the budget is charged
 // exactly once, at commit, from the decision's signal-conditional audit
 // probability — a degraded decision can never double-charge.
+//
+// The solve runs outside e.mu (see the Engine doc comment for the
+// optimistic snapshot/commit protocol); only the commit — signal sampling,
+// budget charge, decision append — is serialized.
 func (e *Engine) ProcessContext(ctx context.Context, a Alert) (*Decision, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	var t0 time.Time
 	if e.met.enabled {
 		t0 = time.Now()
@@ -355,107 +399,207 @@ func (e *Engine) ProcessContext(ctx context.Context, a Alert) (*Decision, error)
 		ctx, cancel = context.WithTimeout(ctx, e.deadline)
 		defer cancel()
 	}
-	d, err := fallback.Attempt(func() (*Decision, error) { return e.decide(ctx, a) })
-	if err != nil {
-		if !e.degrade {
-			return nil, err
+	for attempt := 0; ; attempt++ {
+		e.mu.Lock()
+		budget, cycle := e.budget, e.cycle
+		e.mu.Unlock()
+
+		d, err := fallback.Attempt(func() (*Decision, error) { return e.decideAt(ctx, a, budget) })
+
+		e.mu.Lock()
+		if e.cycle != cycle {
+			// NewCycle reset the engine while we were solving: the decision
+			// answers the previous cycle's game and must not charge this one.
+			e.mu.Unlock()
+			return nil, fmt.Errorf("%w (alert type %d)", ErrCycleRolledOver, a.Type)
 		}
-		if errors.Is(err, context.DeadlineExceeded) {
-			e.met.deadlineExceeded.Inc()
+		if err != nil {
+			if !e.degrade {
+				e.mu.Unlock()
+				return nil, err
+			}
+			if errors.Is(err, context.DeadlineExceeded) {
+				e.met.deadlineExceeded.Inc()
+			}
+			d = e.degraded(a)
+			e.met.fallbackCounter(d.Fallback).Inc()
+		} else if !e.sameBudgetBucket(budget) {
+			// Concurrent commits moved the budget out of the snapshot's
+			// bucket, so the solve answers a state the engine has left.
+			// Re-solve at the fresh budget a bounded number of times, then
+			// accept the near-state solve — the same staleness the cache's
+			// quantization and the last-good rung already embrace.
+			if attempt < maxCommitRetries {
+				e.mu.Unlock()
+				e.met.commitRetries.Inc()
+				continue
+			}
+			e.met.staleCommits.Inc()
 		}
-		d = e.degraded(a)
-		e.met.fallbackCounter(d.Fallback).Inc()
-	}
-	// Commit: sample the signal and charge the budget.
-	V := e.inst.AuditCosts[a.Type]
-	switch e.policy {
-	case PolicyOSSP:
-		warnProb := d.Scheme.WarnProbability()
-		d.Warned = e.rng.Float64() < warnProb
-		if d.Warned {
-			d.AuditCharge = d.Scheme.AuditGivenWarn()
-		} else {
-			d.AuditCharge = d.Scheme.AuditGivenSilent()
+		// Commit: sample the signal and charge the budget.
+		d.BudgetBefore = e.budget
+		V := e.inst.AuditCosts[a.Type]
+		switch e.policy {
+		case PolicyOSSP:
+			warnProb := d.Scheme.WarnProbability()
+			d.Warned = e.rng.Float64() < warnProb
+			if d.Warned {
+				d.AuditCharge = d.Scheme.AuditGivenWarn()
+			} else {
+				d.AuditCharge = d.Scheme.AuditGivenSilent()
+			}
+		case PolicySSE:
+			d.AuditCharge = d.Theta
 		}
-	case PolicySSE:
-		d.AuditCharge = d.Theta
+		d.BudgetAfter = math.Max(0, e.budget-d.AuditCharge*V)
+		e.budget = d.BudgetAfter
+		e.decisions = append(e.decisions, *d)
+		if e.met.enabled {
+			e.met.decision.ObserveSince(t0)
+			e.met.decisions.Inc()
+			e.met.budget.Set(e.budget)
+		}
+		e.mu.Unlock()
+		return d, nil
 	}
-	d.BudgetAfter = math.Max(0, e.budget-d.AuditCharge*V)
-	e.budget = d.BudgetAfter
-	e.decisions = append(e.decisions, *d)
-	if e.met.enabled {
-		e.met.decision.ObserveSince(t0)
-		e.met.decisions.Inc()
-		e.met.budget.Set(e.budget)
+}
+
+// sameBudgetBucket reports whether the current budget still falls in the
+// same quantization bucket as the snapshot a solve ran at. The bucket width
+// is the decision cache's budget quantum — the identity the cache and the
+// single-flight group already use — or exact bit equality when caching is
+// disabled. The caller holds e.mu.
+func (e *Engine) sameBudgetBucket(snapshot float64) bool {
+	q := 0.0
+	if e.cache != nil {
+		q = e.cache.cfg.BudgetQuantum
 	}
-	return &e.decisions[len(e.decisions)-1], nil
+	return quantize(e.budget, q) == quantize(snapshot, q)
 }
 
 // Preview computes the decision the engine would take for a hypothetical
-// alert without sampling a signal or mutating any state. Used by the
+// alert without sampling a signal or mutating the budget chain. Used by the
 // adaptive-attacker example and by tests. Preview never degrades and
 // applies no deadline: it reports what the primary pipeline would do.
 func (e *Engine) Preview(a Alert) (*Decision, error) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	if a.Type < 0 || a.Type >= e.inst.NumTypes() {
 		return nil, fmt.Errorf("core: alert type %d out of range [0,%d)", a.Type, e.inst.NumTypes())
 	}
-	return e.decide(context.Background(), a)
+	e.mu.Lock()
+	budget := e.budget
+	e.mu.Unlock()
+	return e.decideAt(context.Background(), a, budget)
 }
 
-// decide runs the SSE + OSSP pipeline without committing state. The caller
-// holds e.mu and has validated a.Type.
-func (e *Engine) decide(ctx context.Context, a Alert) (*Decision, error) {
-	var t0 time.Time
-	if e.met.enabled {
-		t0 = time.Now()
-	}
-	rates, err := e.est.FutureRates(a.Time)
+// decideAt runs the decision pipeline for a at the given budget snapshot,
+// holding no engine-wide lock: estimate, cache lookup, then the solve —
+// coalesced with any identical in-flight solve. The caller has validated
+// a.Type and commits (or discards) the result.
+func (e *Engine) decideAt(ctx context.Context, a Alert, budget float64) (*Decision, error) {
+	rates, futures, err := e.estimate(a.Time)
 	if err != nil {
-		return nil, fmt.Errorf("core: estimating future alerts: %w", err)
+		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: decision deadline: %w", err)
 	}
-	if len(rates) != e.inst.NumTypes() {
-		return nil, fmt.Errorf("core: estimator returned %d rates for %d types", len(rates), e.inst.NumTypes())
-	}
-	futures := make([]dist.Poisson, len(rates))
-	for i, r := range rates {
-		p, err := dist.NewPoisson(r)
-		if err != nil {
-			return nil, fmt.Errorf("core: type %d: %w", i, err)
-		}
-		futures[i] = p
-	}
-	e.lastRates = append(e.lastRates[:0], rates...)
-	if e.met.enabled {
-		e.met.stageEstimate.ObserveSince(t0)
-		t0 = time.Now()
-	}
 
 	// The whole remaining pipeline is a pure function of (type, budget,
 	// rates) — alert time enters only through the rates — so a cached
-	// decision at the same (quantized) state stands in for a fresh solve.
-	var cacheKey string
+	// decision at the same (quantized) state stands in for a fresh solve,
+	// and an identical state already being solved is worth waiting for
+	// instead of solving again.
+	var budgetQ, rateQ float64
 	if e.cache != nil {
-		cacheKey = e.cache.key(a.Type, e.budget, rates)
-		if hit, ok := e.cache.get(cacheKey); ok {
+		budgetQ, rateQ = e.cache.cfg.BudgetQuantum, e.cache.cfg.RateQuantum
+	}
+	key := stateKey(a.Type, budget, rates, budgetQ, rateQ)
+	if e.cache != nil {
+		if hit, ok := e.cache.get(key); ok {
 			e.met.cacheHits.Inc()
 			hit.Alert = a
-			hit.BudgetBefore = e.budget
-			hit.BudgetAfter = e.budget
+			hit.BudgetBefore = budget
+			hit.BudgetAfter = budget
 			return &hit, nil
 		}
 		e.met.cacheMisses.Inc()
 	}
 
-	sse, err := e.sseSolve(ctx, e.inst, e.budget, futures)
+	d, shared, err := e.flight.do(ctx, key, func() (*Decision, error) {
+		return e.solveAt(ctx, a, budget, futures)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if shared {
+		// Another caller's solve answered this state. The scheme transfers
+		// — same type, same quantization bucket — but the alert identity is
+		// this caller's own, and each caller samples its own signal at
+		// commit.
+		e.met.coalescedSolves.Inc()
+		d.Alert = a
+		d.BudgetBefore = budget
+		d.BudgetAfter = budget
+		return &d, nil
+	}
+	e.memoize(key, &d)
+	return &d, nil
+}
+
+// estimate queries the estimator for the expected future alert volumes at
+// the given cycle offset and validates them into Poisson futures.
+// Estimators may be stateful (the paper's knowledge rollback), so calls
+// serialize on their own mutex — estimation is microseconds, and keeping it
+// off the budget lock lets it overlap with commits and solves.
+func (e *Engine) estimate(at time.Duration) ([]float64, []dist.Poisson, error) {
+	var t0 time.Time
+	if e.met.enabled {
+		t0 = time.Now()
+	}
+	e.estMu.Lock()
+	rates, err := e.est.FutureRates(at)
+	e.estMu.Unlock()
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: estimating future alerts: %w", err)
+	}
+	if len(rates) != e.inst.NumTypes() {
+		return nil, nil, fmt.Errorf("core: estimator returned %d rates for %d types", len(rates), e.inst.NumTypes())
+	}
+	futures := make([]dist.Poisson, len(rates))
+	for i, r := range rates {
+		p, err := dist.NewPoisson(r)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: type %d: %w", i, err)
+		}
+		futures[i] = p
+	}
+	e.mu.Lock()
+	e.lastRates = append(e.lastRates[:0], rates...)
+	e.mu.Unlock()
+	if e.met.enabled {
+		e.met.stageEstimate.ObserveSince(t0)
+	}
+	return rates, futures, nil
+}
+
+// solveAt runs the SSE + OSSP pipeline for one alert at the given budget
+// snapshot, producing a pre-commit decision. It holds no engine-wide lock:
+// the solve is a pure function of (type, budget, futures), and the shared
+// last-good state is updated under short critical sections.
+func (e *Engine) solveAt(ctx context.Context, a Alert, budget float64, futures []dist.Poisson) (*Decision, error) {
+	e.met.inflightSolves.Add(1)
+	defer e.met.inflightSolves.Add(-1)
+	var t0 time.Time
+	if e.met.enabled {
+		t0 = time.Now()
+	}
+	sse, err := e.sseSolve(ctx, e.inst, budget, futures)
 	if err != nil {
 		return nil, fmt.Errorf("core: online SSE: %w", err)
 	}
+	e.mu.Lock()
 	e.lastSSE = sse
+	e.mu.Unlock()
 	if e.met.enabled {
 		e.met.stageSSE.ObserveSince(t0)
 		e.met.recordSSE(sse.Stats)
@@ -463,8 +607,8 @@ func (e *Engine) decide(ctx context.Context, a Alert) (*Decision, error) {
 
 	d := &Decision{
 		Alert:        a,
-		BudgetBefore: e.budget,
-		BudgetAfter:  e.budget,
+		BudgetBefore: budget,
+		BudgetAfter:  budget,
 		SSE:          sse,
 	}
 	if sse.BestType == -1 {
@@ -472,7 +616,6 @@ func (e *Engine) decide(ctx context.Context, a Alert) (*Decision, error) {
 		// budget should be spent.
 		d.Vacuous = true
 		e.met.vacuous.Inc()
-		e.memoize(cacheKey, d)
 		return d, nil
 	}
 	d.Theta = sse.Coverage[a.Type]
@@ -481,7 +624,6 @@ func (e *Engine) decide(ctx context.Context, a Alert) (*Decision, error) {
 
 	if e.policy == PolicySSE {
 		d.OSSPUtility = d.SSEUtility
-		e.memoize(cacheKey, d)
 		return d, nil
 	}
 
@@ -504,7 +646,6 @@ func (e *Engine) decide(ctx context.Context, a Alert) (*Decision, error) {
 		// scored) by the online SSE.
 		d.OSSPUtility = d.SSEUtility
 	}
-	e.memoize(cacheKey, d)
 	return d, nil
 }
 
@@ -771,11 +912,18 @@ func (e *Engine) CloseCycle(rng *rand.Rand) ([]AuditOutcome, float64) {
 
 // CycleSummary aggregates a finished cycle for reporting.
 type CycleSummary struct {
-	Alerts         int
-	Warnings       int
-	SAGEngaged     int     // alerts where the OSSP actually applied
-	BudgetSpent    float64 // initial − remaining
-	MeanSSEUtility float64
+	Alerts          int
+	Warnings        int
+	SAGEngaged      int     // alerts where the OSSP actually applied
+	BudgetSpent     float64 // initial − remaining
+	MeanSSEUtility  float64
+	MeanOSSPUtility float64
+	// MeanOSSPUtilty mirrors MeanOSSPUtility under the misspelled name the
+	// field was first exported with, so JSON consumers keyed on the old
+	// spelling keep working for one release.
+	//
+	// Deprecated: use MeanOSSPUtility. This alias will be removed in the
+	// next release.
 	MeanOSSPUtilty float64
 	FinalSSE       float64 // utility at the last alert (end-of-day health)
 	FinalOSSP      float64
@@ -805,7 +953,8 @@ func (e *Engine) Summary() CycleSummary {
 	}
 	last := e.decisions[len(e.decisions)-1]
 	s.MeanSSEUtility = sse.Mean()
-	s.MeanOSSPUtilty = ossp.Mean()
+	s.MeanOSSPUtility = ossp.Mean()
+	s.MeanOSSPUtilty = s.MeanOSSPUtility // deprecated alias, kept in sync
 	s.FinalSSE = last.SSEUtility
 	s.FinalOSSP = last.OSSPUtility
 	return s

@@ -459,8 +459,8 @@ func TestSummaryAggregation(t *testing.T) {
 	if s.BudgetSpent <= 0 || s.BudgetSpent > 20 {
 		t.Fatalf("BudgetSpent = %g out of (0,20]", s.BudgetSpent)
 	}
-	if s.MeanOSSPUtilty < s.MeanSSEUtility-1e-9 {
-		t.Fatalf("mean OSSP %g < mean SSE %g", s.MeanOSSPUtilty, s.MeanSSEUtility)
+	if s.MeanOSSPUtility < s.MeanSSEUtility-1e-9 {
+		t.Fatalf("mean OSSP %g < mean SSE %g", s.MeanOSSPUtility, s.MeanSSEUtility)
 	}
 	last := e.Decisions()[24]
 	if s.FinalOSSP != last.OSSPUtility || s.FinalSSE != last.SSEUtility {

@@ -44,6 +44,19 @@ const (
 	// MetricDeadlineExceededTotal counts decisions whose primary pipeline
 	// was cut off by the per-decision deadline.
 	MetricDeadlineExceededTotal = "sag_engine_deadline_exceeded_total"
+	// MetricCommitRetriesTotal counts optimistic commits that re-solved
+	// because concurrent decisions moved the budget out of the snapshot's
+	// quantization bucket.
+	MetricCommitRetriesTotal = "sag_engine_commit_retries_total"
+	// MetricStaleCommitsTotal counts decisions committed from a stale
+	// budget snapshot after exhausting the commit-retry bound.
+	MetricStaleCommitsTotal = "sag_engine_stale_commits_total"
+	// MetricCoalescedSolvesTotal counts decisions answered by another
+	// caller's identical in-flight solve (single-flight coalescing).
+	MetricCoalescedSolvesTotal = "sag_engine_coalesced_solves_total"
+	// MetricInflightSolves is a gauge of decision pipelines currently inside
+	// the SSE/signaling solve (past the cache and coalescing layers).
+	MetricInflightSolves = "sag_engine_inflight_solves"
 )
 
 // engineMetrics holds the engine's pre-resolved instruments. The zero value
@@ -71,6 +84,11 @@ type engineMetrics struct {
 	fallbackLastGood *obs.Counter
 	fallbackStatic   *obs.Counter
 	deadlineExceeded *obs.Counter
+
+	commitRetries   *obs.Counter
+	staleCommits    *obs.Counter
+	coalescedSolves *obs.Counter
+	inflightSolves  *obs.Gauge
 }
 
 // fallbackCounter maps a degraded level to its labeled counter (nil, hence a
@@ -115,6 +133,11 @@ func newEngineMetrics(reg *obs.Registry, policy Policy) engineMetrics {
 		fallbackLastGood: reg.Counter(MetricFallbackTotal, fallbackHelp, obs.L("level", fallback.LastGood.String())),
 		fallbackStatic:   reg.Counter(MetricFallbackTotal, fallbackHelp, obs.L("level", fallback.Static.String())),
 		deadlineExceeded: reg.Counter(MetricDeadlineExceededTotal, "Decisions cut off by the per-decision deadline."),
+
+		commitRetries:   reg.Counter(MetricCommitRetriesTotal, "Optimistic commits that re-solved at a fresh budget."),
+		staleCommits:    reg.Counter(MetricStaleCommitsTotal, "Decisions committed from a stale budget snapshot after retry exhaustion."),
+		coalescedSolves: reg.Counter(MetricCoalescedSolvesTotal, "Decisions answered by an identical in-flight solve."),
+		inflightSolves:  reg.Gauge(MetricInflightSolves, "Decision pipelines currently inside the SSE/signaling solve."),
 	}
 }
 

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// flightGroup coalesces concurrent solves of identical decision states: the
+// first caller for a key (the leader) runs the pipeline; callers that arrive
+// while it is in flight (followers) wait for the leader's result instead of
+// duplicating the LP work. The key is the decision cache's state encoding —
+// alert type plus quantized budget and future rates — so "identical" has
+// exactly the same meaning as a cache hit, and the exactness trade-off is
+// governed by the same quanta.
+//
+// This is the server-burst optimization: a spike of same-type alerts at a
+// near-constant budget pays for one SSE + signaling solve, not one per
+// request, even before the result lands in the decision cache.
+type flightGroup struct {
+	// mu guards the in-flight map only; it is never held while a solve
+	// runs, so registration stays O(1) under any solve latency.
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+// flightCall is one in-flight solve. done is closed exactly once, after d
+// and err are final; waiters must not read them before done is closed.
+type flightCall struct {
+	done chan struct{}
+	d    Decision // value copy of the leader's pre-commit decision
+	err  error
+}
+
+// errFlightPanicked is pre-loaded into a call's err so that a leader panic
+// (which unwinds past the assignment of the real result) is observed by
+// followers as an error instead of a zero-valued "successful" decision. The
+// leader's own panic still propagates to its fallback.Attempt wrapper.
+var errFlightPanicked = errors.New("core: in-flight solve panicked")
+
+// do returns the decision for key, coalescing with an identical in-flight
+// solve when one exists. shared reports whether the result came from another
+// caller's solve (followers and late arrivals); the returned Decision is a
+// private copy either way. A follower whose ctx expires while waiting
+// returns ctx.Err() without aborting the leader.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (*Decision, error)) (d Decision, shared bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.d, true, c.err
+		case <-ctx.Done():
+			return Decision{}, true, ctx.Err()
+		}
+	}
+	c := &flightCall{done: make(chan struct{}), err: errFlightPanicked}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	defer func() {
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+	dp, ferr := fn()
+	if ferr != nil {
+		c.d, c.err = Decision{}, ferr
+		return Decision{}, false, ferr
+	}
+	c.d, c.err = *dp, nil
+	return *dp, false, nil
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFlightGroupCoalesces(t *testing.T) {
+	var g flightGroup
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var leaderDone sync.WaitGroup
+	leaderDone.Add(1)
+	go func() {
+		defer leaderDone.Done()
+		d, shared, err := g.do(context.Background(), "k", func() (*Decision, error) {
+			close(started)
+			<-release
+			return &Decision{Theta: 0.5}, nil
+		})
+		if err != nil || shared {
+			t.Errorf("leader: shared=%v err=%v", shared, err)
+		}
+		if d.Theta != 0.5 {
+			t.Errorf("leader theta %g", d.Theta)
+		}
+	}()
+	<-started
+
+	var followers sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		followers.Add(1)
+		go func() {
+			defer followers.Done()
+			d, shared, err := g.do(context.Background(), "k", func() (*Decision, error) {
+				t.Error("follower ran the solve")
+				return nil, nil
+			})
+			if err != nil || !shared {
+				t.Errorf("follower: shared=%v err=%v", shared, err)
+			}
+			if d.Theta != 0.5 {
+				t.Errorf("follower theta %g", d.Theta)
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond) // let followers register
+	close(release)
+	leaderDone.Wait()
+	followers.Wait()
+
+	// The key is gone: a late caller leads its own solve.
+	_, shared, err := g.do(context.Background(), "k", func() (*Decision, error) {
+		return &Decision{}, nil
+	})
+	if err != nil || shared {
+		t.Fatalf("late caller: shared=%v err=%v", shared, err)
+	}
+}
+
+func TestFlightGroupDistinctKeysDoNotCoalesce(t *testing.T) {
+	var g flightGroup
+	var wg sync.WaitGroup
+	ran := make(chan string, 2)
+	for _, k := range []string{"a", "b"} {
+		wg.Add(1)
+		go func(k string) {
+			defer wg.Done()
+			_, shared, err := g.do(context.Background(), k, func() (*Decision, error) {
+				ran <- k
+				return &Decision{}, nil
+			})
+			if err != nil || shared {
+				t.Errorf("%s: shared=%v err=%v", k, shared, err)
+			}
+		}(k)
+	}
+	wg.Wait()
+	if len(ran) != 2 {
+		t.Fatalf("%d solves for 2 distinct keys", len(ran))
+	}
+}
+
+func TestFlightGroupLeaderError(t *testing.T) {
+	var g flightGroup
+	boom := errors.New("boom")
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		_, _, _ = g.do(context.Background(), "k", func() (*Decision, error) {
+			close(started)
+			<-release
+			return nil, boom
+		})
+	}()
+	<-started
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := g.do(context.Background(), "k", func() (*Decision, error) {
+			return &Decision{}, nil
+		})
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	if err := <-errc; !errors.Is(err, boom) {
+		t.Fatalf("follower got %v, want leader's error", err)
+	}
+}
+
+func TestFlightGroupFollowerCtxCancel(t *testing.T) {
+	var g flightGroup
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	go func() {
+		_, _, _ = g.do(context.Background(), "k", func() (*Decision, error) {
+			close(started)
+			<-release
+			return &Decision{}, nil
+		})
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, shared, err := g.do(ctx, "k", func() (*Decision, error) {
+		return &Decision{}, nil
+	})
+	if !shared || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled follower: shared=%v err=%v", shared, err)
+	}
+}
+
+func TestFlightGroupLeaderPanicSurfacesToFollowers(t *testing.T) {
+	var g flightGroup
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		defer func() { _ = recover() }() // the leader's own panic propagates
+		_, _, _ = g.do(context.Background(), "k", func() (*Decision, error) {
+			close(started)
+			<-release
+			panic("solver exploded")
+		})
+	}()
+	<-started
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := g.do(context.Background(), "k", func() (*Decision, error) {
+			return &Decision{}, nil
+		})
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	if err := <-errc; !errors.Is(err, errFlightPanicked) {
+		t.Fatalf("follower got %v, want errFlightPanicked", err)
+	}
+}

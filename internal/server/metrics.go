@@ -27,31 +27,46 @@ const (
 	MetricQuitsTotal    = "sag_server_quits_total"
 	// MetricFlaggedUsers gauges the number of currently flagged employees.
 	MetricFlaggedUsers = "sag_server_flagged_users"
+	// MetricHTTPLockWaitSeconds is a histogram of time spent waiting to
+	// acquire the server's lifecycle lock, labeled side=read|write. The
+	// read side is the decision hot path: sustained waits there mean
+	// something is re-serializing the handlers.
+	MetricHTTPLockWaitSeconds = "sag_http_lock_wait_seconds"
+	// MetricHTTPInflightRequests gauges requests currently inside an
+	// instrumented handler.
+	MetricHTTPInflightRequests = "sag_http_inflight_requests"
 )
 
 // serverMetrics holds the server's pre-resolved instruments. All fields are
 // non-nil: the server always owns a registry (its own when the caller
 // supplied none) so that GET /v1/metrics is always live.
 type serverMetrics struct {
-	reg      *obs.Registry
-	accesses *obs.Counter
-	alerts   *obs.Counter
-	warned   *obs.Counter
-	quits    *obs.Counter
-	flagged  *obs.Gauge
+	reg           *obs.Registry
+	accesses      *obs.Counter
+	alerts        *obs.Counter
+	warned        *obs.Counter
+	quits         *obs.Counter
+	flagged       *obs.Gauge
+	lockWaitRead  *obs.Histogram
+	lockWaitWrite *obs.Histogram
+	inflight      *obs.Gauge
 }
 
 func newServerMetrics(reg *obs.Registry) serverMetrics {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	const lockHelp = "Time waiting to acquire the server lifecycle lock, by side."
 	return serverMetrics{
-		reg:      reg,
-		accesses: reg.Counter(MetricAccessesTotal, "Access requests evaluated."),
-		alerts:   reg.Counter(MetricAlertsTotal, "Accesses on which a detection rule fired."),
-		warned:   reg.Counter(MetricWarnedTotal, "Accesses answered with a warning."),
-		quits:    reg.Counter(MetricQuitsTotal, "Warned accesses reported abandoned."),
-		flagged:  reg.Gauge(MetricFlaggedUsers, "Employees currently flagged as quitters."),
+		reg:           reg,
+		accesses:      reg.Counter(MetricAccessesTotal, "Access requests evaluated."),
+		alerts:        reg.Counter(MetricAlertsTotal, "Accesses on which a detection rule fired."),
+		warned:        reg.Counter(MetricWarnedTotal, "Accesses answered with a warning."),
+		quits:         reg.Counter(MetricQuitsTotal, "Warned accesses reported abandoned."),
+		flagged:       reg.Gauge(MetricFlaggedUsers, "Employees currently flagged as quitters."),
+		lockWaitRead:  reg.Histogram(MetricHTTPLockWaitSeconds, lockHelp, obs.DefTimeBuckets, obs.L("side", "read")),
+		lockWaitWrite: reg.Histogram(MetricHTTPLockWaitSeconds, lockHelp, obs.DefTimeBuckets, obs.L("side", "write")),
+		inflight:      reg.Gauge(MetricHTTPInflightRequests, "Requests currently inside an instrumented handler."),
 	}
 }
 
@@ -75,6 +90,8 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 		"HTTP request latency in seconds by route.", obs.DefTimeBuckets, obs.L("route", route))
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
+		s.met.inflight.Add(1)
+		defer s.met.inflight.Add(-1)
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		h(rec, r)
 		lat.ObserveSince(t0)

@@ -15,10 +15,14 @@
 //	GET  /v1/healthz       — liveness probe (always 200 while serving)
 //	GET  /v1/readyz        — readiness probe (503 once draining)
 //
-// The server serializes all engine access through a mutex: the engine is
-// deliberately single-threaded per audit cycle (decisions are order-
-// dependent through the budget), and the per-decision cost is tens of
-// microseconds, far below any plausible request rate in this domain.
+// Concurrency: the serving hot path is not globally serialized. Decisions
+// run concurrently through the engine's optimistic snapshot/commit protocol
+// (see core.Engine); the server itself only takes a read lock on the cycle
+// lifecycle, so /v1/access requests overlap freely while /v1/cycle/close
+// and /v1/cycle/new take the write side and drain in-flight decisions
+// before the rollover. Per-cycle counters are atomics and the flagged-user
+// set has its own small mutex. The full locking hierarchy is documented in
+// DESIGN.md.
 //
 // The serving path is hardened for production shapes: the API is wrapped in
 // panic recovery and an optional per-request timeout, each engine decision
@@ -77,21 +81,45 @@ type Config struct {
 	// RequestTimeout bounds each request end to end; requests that exceed it
 	// are answered 503. Zero disables the per-request timeout.
 	RequestTimeout time.Duration
+	// SSESolve overrides the engine's online SSE solver (nil means the real
+	// game.SolveOnlineSSECtx). Injection seam for fault-injection and for
+	// the concurrency tests, which substitute a blocking solver to prove
+	// decisions overlap.
+	SSESolve core.SSESolveFunc
 }
 
 // Server is the HTTP facade. Create with New and mount via Handler.
+//
+// Locking hierarchy (acquire top to bottom, never upward):
+//
+//	lifecycle — RWMutex over cycle transitions. Decision handlers hold the
+//	            read side for their whole request, so any number overlap;
+//	            /v1/cycle/close and /v1/cycle/new hold the write side, so a
+//	            rollover waits for in-flight decisions and no decision ever
+//	            spans a cycle boundary. Also guards closed.
+//	flaggedMu — RWMutex over the flagged-quitter set only.
+//	engine    — core.Engine's own internal locks (optimistic commit).
+//
+// Per-cycle counters (accesses, alerts, warned, quits) are atomics: they
+// are written on the hot path and read only by /v1/status and the close
+// handler's seed derivation.
 type Server struct {
-	mu       sync.Mutex
 	detector *alerts.Engine
 	engine   *core.Engine
 	cfg      Config
 	met      serverMetrics
 	typeIdx  map[int]int // taxonomy ID → engine index
-	flagged  map[int]bool
-	accesses int
-	alerts   int
-	warned   int
-	quits    int
+
+	lifecycle sync.RWMutex
+	closed    bool // cycle closed, awaiting /v1/cycle/new; guarded by lifecycle
+
+	flaggedMu sync.RWMutex
+	flagged   map[int]bool
+
+	accesses atomic.Int64
+	alerts   atomic.Int64
+	warned   atomic.Int64
+	quits    atomic.Int64
 	ready    atomic.Bool
 }
 
@@ -125,6 +153,7 @@ func New(cfg Config) (*Server, error) {
 		// error to the EMR front end.
 		DecisionDeadline: cfg.DecisionDeadline,
 		Fallback:         true,
+		SSESolve:         cfg.SSESolve,
 	})
 	if err != nil {
 		return nil, err
@@ -164,8 +193,6 @@ func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
 // CycleSummary returns the engine's aggregate view of the current cycle —
 // the shutdown path logs it so an interrupted cycle is not lost silently.
 func (s *Server) CycleSummary() core.CycleSummary {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.engine.Summary()
 }
 
@@ -225,6 +252,9 @@ type Status struct {
 	Quits           int     `json:"quits"`
 	FlaggedUsers    int     `json:"flagged_users"`
 	NumTypes        int     `json:"num_types"`
+	// Closed reports that the cycle's audit plan has been drawn: further
+	// /v1/access and /v1/cycle/close calls answer 409 until /v1/cycle/new.
+	Closed bool `json:"closed"`
 	// Decision-cache effectiveness; all zero when caching is disabled.
 	CacheHits      uint64  `json:"cache_hits"`
 	CacheMisses    uint64  `json:"cache_misses"`
@@ -293,15 +323,37 @@ type apiError struct {
 	Error string `json:"error"`
 }
 
+// lockLifecycleR / lockLifecycleW acquire the lifecycle lock, observing the
+// wait in sag_http_lock_wait_seconds so re-serialization regressions show up
+// on dashboards before they show up as latency.
+func (s *Server) lockLifecycleR() {
+	t0 := time.Now()
+	s.lifecycle.RLock()
+	s.met.lockWaitRead.ObserveSince(t0)
+}
+
+func (s *Server) lockLifecycleW() {
+	t0 := time.Now()
+	s.lifecycle.Lock()
+	s.met.lockWaitWrite.ObserveSince(t0)
+}
+
 func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request) {
 	var req AccessRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: "invalid JSON: " + err.Error()})
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.accesses++
+	// Read side only: any number of access decisions overlap; the solve
+	// itself runs under the engine's optimistic-commit protocol, not under
+	// any server lock.
+	s.lockLifecycleR()
+	defer s.lifecycle.RUnlock()
+	if s.closed {
+		writeJSON(w, http.StatusConflict, apiError{Error: "audit cycle is closed; POST /v1/cycle/new to start the next one"})
+		return
+	}
+	s.accesses.Add(1)
 	s.met.accesses.Inc()
 
 	now := s.cfg.Clock()
@@ -319,18 +371,21 @@ func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	s.alerts++
+	s.alerts.Add(1)
 	s.met.alerts.Inc()
 	resp.Alert = true
 	resp.TypeID = alert.Type
 	resp.Rules = alert.Rules.String()
 
-	if s.flagged[req.EmployeeID] {
+	s.flaggedMu.RLock()
+	isFlagged := s.flagged[req.EmployeeID]
+	s.flaggedMu.RUnlock()
+	if isFlagged {
 		// Known quitter: always warn (and the access is investigated out
 		// of band — the paper notes this is cheap because quits are rare).
 		resp.Warn = true
 		resp.Flagged = true
-		s.warned++
+		s.warned.Add(1)
 		s.met.warned.Inc()
 		writeJSON(w, http.StatusOK, resp)
 		return
@@ -344,6 +399,13 @@ func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request) {
 	}
 	d, err := s.engine.ProcessContext(r.Context(), core.Alert{Type: idx, Time: now})
 	if err != nil {
+		// ErrCycleRolledOver cannot fire while we hold the lifecycle read
+		// lock, but embedders drive the engine directly too — map it to the
+		// same conflict the closed-cycle guard answers.
+		if errors.Is(err, core.ErrCycleRolledOver) {
+			writeJSON(w, http.StatusConflict, apiError{Error: err.Error()})
+			return
+		}
 		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
 		return
 	}
@@ -353,7 +415,7 @@ func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request) {
 		resp.Fallback = d.Fallback.String()
 	}
 	if d.Warned {
-		s.warned++
+		s.warned.Add(1)
 		s.met.warned.Inc()
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -365,26 +427,44 @@ func (s *Server) handleQuit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: "invalid JSON: " + err.Error()})
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockLifecycleR()
+	defer s.lifecycle.RUnlock()
 	if req.EmployeeID < 0 || req.EmployeeID >= len(s.cfg.World.Employees) {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("unknown employee %d", req.EmployeeID)})
 		return
 	}
-	s.quits++
-	s.met.quits.Inc()
-	s.flagged[req.EmployeeID] = true
-	s.met.flagged.Set(float64(len(s.flagged)))
+	// Idempotent: a quit reveals the requester once. Repeating the report
+	// re-confirms the flag but must not inflate the quit counter (or the
+	// flagged gauge) — front ends retry.
+	s.flaggedMu.Lock()
+	first := !s.flagged[req.EmployeeID]
+	if first {
+		s.flagged[req.EmployeeID] = true
+		s.met.flagged.Set(float64(len(s.flagged)))
+	}
+	s.flaggedMu.Unlock()
+	if first {
+		s.quits.Add(1)
+		s.met.quits.Inc()
+	}
 	writeJSON(w, http.StatusOK, struct {
 		Flagged bool `json:"flagged"`
 	}{Flagged: true})
 }
 
 func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rng := rand.New(rand.NewSource(s.cfg.Seed ^ int64(s.accesses)))
+	// Write side: wait for in-flight decisions, then freeze the cycle. A
+	// second close is a conflict — re-sampling would draw a fresh audit
+	// plan (and re-charge its total) for a cycle that already has one.
+	s.lockLifecycleW()
+	defer s.lifecycle.Unlock()
+	if s.closed {
+		writeJSON(w, http.StatusConflict, apiError{Error: "audit cycle already closed; POST /v1/cycle/new to start the next one"})
+		return
+	}
+	rng := rand.New(rand.NewSource(s.cfg.Seed ^ s.accesses.Load()))
 	audits, total := s.engine.CloseCycle(rng)
+	s.closed = true
 	writeJSON(w, http.StatusOK, CloseResponse{Audits: audits, TotalCost: total})
 }
 
@@ -394,33 +474,42 @@ func (s *Server) handleNewCycle(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: "invalid JSON: " + err.Error()})
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockLifecycleW()
+	defer s.lifecycle.Unlock()
 	if err := s.engine.NewCycle(req.Budget); err != nil {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
 	}
 	// Reset every per-cycle counter. Flagged users deliberately survive the
 	// rollover: a quit reveals the requester for good (paper §4).
-	s.accesses, s.alerts, s.warned, s.quits = 0, 0, 0, 0
+	s.closed = false
+	s.accesses.Store(0)
+	s.alerts.Store(0)
+	s.warned.Store(0)
+	s.quits.Store(0)
 	writeJSON(w, http.StatusOK, struct {
 		Budget float64 `json:"budget"`
 	}{Budget: req.Budget})
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockLifecycleR()
+	closed := s.closed
+	s.lifecycle.RUnlock()
+	s.flaggedMu.RLock()
+	flagged := len(s.flagged)
+	s.flaggedMu.RUnlock()
 	cs := s.engine.CacheStats()
 	writeJSON(w, http.StatusOK, Status{
 		Budget:          s.engine.InitialBudget(),
 		RemainingBudget: s.engine.RemainingBudget(),
-		Accesses:        s.accesses,
-		Alerts:          s.alerts,
-		Warned:          s.warned,
-		Quits:           s.quits,
-		FlaggedUsers:    len(s.flagged),
+		Accesses:        int(s.accesses.Load()),
+		Alerts:          int(s.alerts.Load()),
+		Warned:          int(s.warned.Load()),
+		Quits:           int(s.quits.Load()),
+		FlaggedUsers:    flagged,
 		NumTypes:        s.cfg.Instance.NumTypes(),
+		Closed:          closed,
 		CacheHits:       cs.Hits,
 		CacheMisses:     cs.Misses,
 		CacheEvictions:  cs.Evictions,

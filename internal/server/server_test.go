@@ -287,7 +287,11 @@ func TestNewValidation(t *testing.T) {
 	}
 }
 
-func TestConcurrentAccessesAreSerialized(t *testing.T) {
+// TestConcurrentAccessesKeepInvariants hammers the (now unserialized)
+// access path and checks that the shared counters and the budget survive:
+// no lost updates, no negative budget. The overlap proof itself lives in
+// TestConcurrentAccessSolvesOverlap.
+func TestConcurrentAccessesKeepInvariants(t *testing.T) {
 	_, ts, bgE, bgP := fixture(t)
 	done := make(chan error, 8)
 	for g := 0; g < 8; g++ {
