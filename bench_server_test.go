@@ -14,6 +14,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -52,9 +53,16 @@ func slowVacuousSolver(ctx context.Context, inst *game.Instance, budget float64,
 	return &game.Result{BestType: -1, Coverage: make([]float64, inst.NumTypes())}, nil
 }
 
+// instantVacuousSolver returns a vacuous equilibrium with no delay; used
+// when a benchmark wants the latency somewhere other than the solve stage.
+func instantVacuousSolver(ctx context.Context, inst *game.Instance, budget float64, futures []dist.Poisson) (*game.Result, error) {
+	return &game.Result{BestType: -1, Coverage: make([]float64, inst.NumTypes())}, nil
+}
+
 // newBenchServerHandler builds the serving stack over the small planted
-// world. solve overrides the SSE solver (nil = the real LP pipeline).
-func newBenchServerHandler(b *testing.B, cache sag.CacheConfig, solve sag.SSESolveFunc) (http.Handler, int, int) {
+// world. solve overrides the SSE solver (nil = the real LP pipeline);
+// estimate overrides the estimator (nil = instant fixed Table 1 rates).
+func newBenchServerHandler(b *testing.B, cache sag.CacheConfig, solve sag.SSESolveFunc, estimate func(time.Duration) ([]float64, error)) (http.Handler, int, int) {
 	b.Helper()
 	world, err := emr.NewWorld(emr.WorldConfig{Seed: 5, Employees: 30, Patients: 100, Departments: 4})
 	if err != nil {
@@ -69,21 +77,24 @@ func newBenchServerHandler(b *testing.B, cache sag.CacheConfig, solve sag.SSESol
 		b.Fatal(err)
 	}
 	rates := []float64{196.57, 29.02, 140.46, 10.84, 25.43, 15.14, 43.27}
-	srv, err := server.New(server.Config{
-		World:    world,
-		Taxonomy: alerts.NewTable1Taxonomy(),
-		TypeIDs:  sim.AllTable1TypeIDs(),
-		Instance: inst,
-		Budget:   1e9,
-		Estimator: sag.EstimatorFunc(func(time.Duration) ([]float64, error) {
+	if estimate == nil {
+		estimate = func(time.Duration) ([]float64, error) {
 			out := make([]float64, len(rates))
 			copy(out, rates)
 			return out, nil
-		}),
-		Seed:     1,
-		Cache:    cache,
-		Clock:    func() time.Duration { return 9 * time.Hour },
-		SSESolve: solve,
+		}
+	}
+	srv, err := server.New(server.Config{
+		World:     world,
+		Taxonomy:  alerts.NewTable1Taxonomy(),
+		TypeIDs:   sim.AllTable1TypeIDs(),
+		Instance:  inst,
+		Budget:    1e9,
+		Estimator: sag.EstimatorFunc(estimate),
+		Seed:      1,
+		Cache:     cache,
+		Clock:     func() time.Duration { return 9 * time.Hour },
+		SSESolve:  solve,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -135,6 +146,65 @@ func runConcurrentAccess(b *testing.B, h http.Handler, bodies [][]byte) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
 }
 
+// doTenantAccess is doAccess with the request pinned to a tenant.
+func doTenantAccess(b *testing.B, h http.Handler, tenant string, body []byte) {
+	req := httptest.NewRequest(http.MethodPost, "/v1/access", bytes.NewReader(body))
+	req.Header.Set(server.TenantHeader, tenant)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("access status %d: %s", rec.Code, rec.Body.Bytes())
+	}
+}
+
+// runTenantAccess drives b.N requests from benchServerClients goroutines,
+// client w pinned to tenant w%tenants. Every request carries the same body,
+// so within one tenant all clients contend for one decision state.
+func runTenantAccess(b *testing.B, h http.Handler, body []byte, tenants int) {
+	var next atomic.Int64
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < benchServerClients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("bench-%d", w%tenants)
+			for next.Add(1) <= int64(b.N) {
+				doTenantAccess(b, h, tenant, body)
+			}
+		}(w)
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkServerMultiTenant is the sharding win, measured. The injected
+// latency sits in the ESTIMATOR, the one pipeline stage the engine must
+// serialize per tenant (stateful estimators — the paper's knowledge
+// rollback — are called under the engine's estimator mutex). One tenant
+// therefore pins throughput at ≈ 1/benchSolveLatency no matter how many
+// clients; spread across 8 tenants, each tenant estimates independently
+// and the same 8-client workload overlaps ≈ 8×. The tenants=8 arm must
+// beat tenants=1 by ≥ 4× req/s (≈ 8× in practice). The CI benchgate
+// watches both arms.
+func BenchmarkServerMultiTenant(b *testing.B) {
+	rates := []float64{196.57, 29.02, 140.46, 10.84, 25.43, 15.14, 43.27}
+	slowEstimate := func(time.Duration) ([]float64, error) {
+		time.Sleep(benchSolveLatency)
+		out := make([]float64, len(rates))
+		copy(out, rates)
+		return out, nil
+	}
+	for _, tenants := range []int{1, 8} {
+		b.Run(fmt.Sprintf("tenants=%d", tenants), func(b *testing.B) {
+			h, bgE, bgP := newBenchServerHandler(b, sag.CacheConfig{}, instantVacuousSolver, slowEstimate)
+			body := accessBodies(bgE, bgP)[0]
+			runTenantAccess(b, h, body, tenants)
+		})
+	}
+}
+
 // serialized wraps h in one global mutex — the locking discipline of the
 // pre-PR-4 handler, which held the server mutex across detector, solve, and
 // JSON write. Kept as the in-tree baseline the unserialized path is
@@ -152,7 +222,7 @@ func serialized(h http.Handler) http.Handler {
 // (quantized decision cache on, steady state all hits): the latency a lone
 // caller sees. Unserializing the hot path must keep this within noise.
 func BenchmarkServerAccess(b *testing.B) {
-	h, bgE, bgP := newBenchServerHandler(b, sag.CacheConfig{Size: 64, BudgetQuantum: 1e6, RateQuantum: 1}, nil)
+	h, bgE, bgP := newBenchServerHandler(b, sag.CacheConfig{Size: 64, BudgetQuantum: 1e6, RateQuantum: 1}, nil, nil)
 	bodies := accessBodies(bgE, bgP)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -166,7 +236,7 @@ func BenchmarkServerAccess(b *testing.B) {
 // fixed-latency pair: ns/op ≈ benchSolveLatency plus the serving path. The
 // concurrent arm must beat this by ≈ benchServerClients×.
 func BenchmarkServerSlowSolveAccess(b *testing.B) {
-	h, bgE, bgP := newBenchServerHandler(b, sag.CacheConfig{}, slowVacuousSolver)
+	h, bgE, bgP := newBenchServerHandler(b, sag.CacheConfig{}, slowVacuousSolver, nil)
 	bodies := accessBodies(bgE, bgP)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -181,7 +251,7 @@ func BenchmarkServerSlowSolveAccess(b *testing.B) {
 // ≈ benchSolveLatency/8; a re-serialized hot path puts it back at
 // ≈ benchSolveLatency. The CI benchgate watches this benchmark.
 func BenchmarkServerConcurrentAccess(b *testing.B) {
-	h, bgE, bgP := newBenchServerHandler(b, sag.CacheConfig{}, slowVacuousSolver)
+	h, bgE, bgP := newBenchServerHandler(b, sag.CacheConfig{}, slowVacuousSolver, nil)
 	bodies := accessBodies(bgE, bgP)
 	runConcurrentAccess(b, h, bodies)
 }
@@ -190,7 +260,7 @@ func BenchmarkServerConcurrentAccess(b *testing.B) {
 // global handler lock — the pre-PR-4 serving discipline. The ratio of this
 // benchmark to BenchmarkServerConcurrentAccess is the unserialization win.
 func BenchmarkServerConcurrentAccessSerialized(b *testing.B) {
-	h, bgE, bgP := newBenchServerHandler(b, sag.CacheConfig{}, slowVacuousSolver)
+	h, bgE, bgP := newBenchServerHandler(b, sag.CacheConfig{}, slowVacuousSolver, nil)
 	bodies := accessBodies(bgE, bgP)
 	runConcurrentAccess(b, serialized(h), bodies)
 }

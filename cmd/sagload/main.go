@@ -53,12 +53,13 @@ func run() error {
 		stride   = flag.Int("stride", 120, "ID distance between planted pairs of consecutive kinds (the server's pairs-per-kind)")
 		types    = flag.Int("types", 7, "number of planted alert types to cycle workers across")
 		budget   = flag.Float64("budget", 1e9, "audit budget for the in-process server (-self)")
+		tenants  = flag.Int("tenants", 0, "fan workers out across N tenants (load-0..load-N-1); 0 = default tenant only")
 	)
 	flag.Parse()
 
 	base := *url
 	if *self {
-		ts, bgE, bgP, err := selfServer(*budget)
+		ts, bgE, bgP, err := selfServer(*budget, *tenants)
 		if err != nil {
 			return err
 		}
@@ -81,6 +82,7 @@ func run() error {
 	}
 
 	type workerStats struct {
+		tenant        string
 		lat           []time.Duration
 		alerts, warns int64
 		errs, non200  int64
@@ -90,6 +92,9 @@ func run() error {
 	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < *workers; w++ {
+		if *tenants > 0 {
+			stats[w].tenant = fmt.Sprintf("load-%d", w%*tenants)
+		}
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
@@ -98,7 +103,15 @@ func run() error {
 			client := &http.Client{Timeout: 30 * time.Second}
 			for !stop.Load() {
 				t0 := time.Now()
-				resp, err := client.Post(base+"/v1/access", "application/json", bytes.NewReader(body))
+				req, err := http.NewRequest(http.MethodPost, base+"/v1/access", bytes.NewReader(body))
+				if err != nil {
+					return
+				}
+				req.Header.Set("Content-Type", "application/json")
+				if st.tenant != "" {
+					req.Header.Set(server.TenantHeader, st.tenant)
+				}
+				resp, err := client.Do(req)
 				if err != nil {
 					st.errs++
 					continue
@@ -127,8 +140,10 @@ func run() error {
 
 	var all []time.Duration
 	var alerts, warns, errs, non200 int64
+	perTenant := map[string][]time.Duration{}
 	for i := range stats {
 		all = append(all, stats[i].lat...)
+		perTenant[stats[i].tenant] = append(perTenant[stats[i].tenant], stats[i].lat...)
 		alerts += stats[i].alerts
 		warns += stats[i].warns
 		errs += stats[i].errs
@@ -138,26 +153,62 @@ func run() error {
 		return fmt.Errorf("no requests completed (%d transport errors)", errs)
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	pct := func(p float64) time.Duration {
-		i := int(p * float64(len(all)-1))
-		return all[i]
-	}
 
 	fmt.Fprintf(os.Stdout, "workers        %d\n", *workers)
+	if *tenants > 0 {
+		fmt.Fprintf(os.Stdout, "tenants        %d\n", *tenants)
+	}
 	fmt.Fprintf(os.Stdout, "duration       %v\n", elapsed.Round(time.Millisecond))
 	fmt.Fprintf(os.Stdout, "requests       %d (%d alerts, %d warned, %d non-200, %d transport errors)\n",
 		len(all), alerts, warns, non200, errs)
 	fmt.Fprintf(os.Stdout, "throughput     %.1f req/s\n", float64(len(all))/elapsed.Seconds())
-	fmt.Fprintf(os.Stdout, "latency p50    %v\n", pct(0.50).Round(time.Microsecond))
-	fmt.Fprintf(os.Stdout, "latency p90    %v\n", pct(0.90).Round(time.Microsecond))
-	fmt.Fprintf(os.Stdout, "latency p99    %v\n", pct(0.99).Round(time.Microsecond))
+	fmt.Fprintf(os.Stdout, "latency p50    %v\n", pct(all, 0.50).Round(time.Microsecond))
+	fmt.Fprintf(os.Stdout, "latency p90    %v\n", pct(all, 0.90).Round(time.Microsecond))
+	fmt.Fprintf(os.Stdout, "latency p99    %v\n", pct(all, 0.99).Round(time.Microsecond))
 	fmt.Fprintf(os.Stdout, "latency max    %v\n", all[len(all)-1].Round(time.Microsecond))
+
+	if *tenants > 0 {
+		ids := make([]string, 0, len(perTenant))
+		for id := range perTenant {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		fmt.Fprintln(os.Stdout, "per-tenant latency:")
+		for _, id := range ids {
+			lat := perTenant[id]
+			if len(lat) == 0 {
+				continue
+			}
+			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+			fmt.Fprintf(os.Stdout, "  %-12s %8d req  %8.1f req/s  p50 %-10v p90 %-10v p99 %-10v\n",
+				id, len(lat), float64(len(lat))/elapsed.Seconds(),
+				pct(lat, 0.50).Round(time.Microsecond),
+				pct(lat, 0.90).Round(time.Microsecond),
+				pct(lat, 0.99).Round(time.Microsecond))
+		}
+	}
 	return nil
+}
+
+// pct reads the p-quantile of an ascending-sorted latency slice.
+func pct(sorted []time.Duration, p float64) time.Duration {
+	return sorted[int(p*float64(len(sorted)-1))]
+}
+
+// maxTenants sizes the in-process server's tenant cap for an N-tenant
+// fan-out: 0 keeps the shard default, which already covers small N.
+func maxTenants(tenants int) int {
+	if tenants > 0 {
+		return tenants + 1 // the fan-out plus the default tenant
+	}
+	return 0
 }
 
 // selfServer builds a small in-process SAG server (fixed-rate estimator,
 // quantized decision cache) so sagload can run without a sagserver target.
-func selfServer(budget float64) (*httptest.Server, int, int, error) {
+// tenants raises the resident-tenant cap when the fan-out needs more than
+// the shard default.
+func selfServer(budget float64, tenants int) (*httptest.Server, int, int, error) {
 	world, err := emr.NewWorld(emr.WorldConfig{Seed: 5, Employees: 30, Patients: 100, Departments: 4})
 	if err != nil {
 		return nil, 0, 0, err
@@ -182,9 +233,10 @@ func selfServer(budget float64) (*httptest.Server, int, int, error) {
 			copy(out, rates)
 			return out, nil
 		}),
-		Seed:  1,
-		Cache: core.CacheConfig{Size: 64, BudgetQuantum: 1e6, RateQuantum: 1},
-		Clock: func() time.Duration { return 9 * time.Hour },
+		Seed:       1,
+		Cache:      core.CacheConfig{Size: 64, BudgetQuantum: 1e6, RateQuantum: 1},
+		Clock:      func() time.Duration { return 9 * time.Hour },
+		MaxTenants: maxTenants(tenants),
 	})
 	if err != nil {
 		return nil, 0, 0, err

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"github.com/auditgames/sag/internal/server"
+)
+
+// TestSelfServerTenantFanOut stands up the -self server sized for a
+// 2-tenant fan-out and checks the load generator's contract with it: the
+// fan-out tenants are admitted and answer planted-pair alerts, and a
+// tenant beyond the sized cap is refused with 429 instead of silently
+// landing in another tenant's cycle.
+func TestSelfServerTenantFanOut(t *testing.T) {
+	ts, bgE, bgP, err := selfServer(1e9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+
+	body, err := json.Marshal(server.AccessRequest{EmployeeID: bgE, PatientID: bgP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func(tenant string) int {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/access", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if tenant != "" {
+			req.Header.Set(server.TenantHeader, tenant)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out server.AccessResponse
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				t.Fatal(err)
+			}
+			if !out.Alert {
+				t.Fatalf("tenant %q: planted pair did not alert", tenant)
+			}
+		}
+		return resp.StatusCode
+	}
+
+	for _, tenant := range []string{"", "load-0", "load-1"} {
+		if code := post(tenant); code != http.StatusOK {
+			t.Fatalf("tenant %q: status %d", tenant, code)
+		}
+	}
+	// maxTenants(2) = 3 residents: default + the two fan-out tenants. A
+	// fourth distinct tenant must be refused, not absorbed.
+	if code := post("load-2"); code != http.StatusTooManyRequests {
+		t.Fatalf("over-cap tenant admitted with status %d, want 429", code)
+	}
+}
+
+func TestMaxTenants(t *testing.T) {
+	if got := maxTenants(0); got != 0 {
+		t.Fatalf("maxTenants(0) = %d, want 0 (shard default)", got)
+	}
+	if got := maxTenants(8); got != 9 {
+		t.Fatalf("maxTenants(8) = %d, want 9", got)
+	}
+}
+
+func TestPct(t *testing.T) {
+	lat := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := pct(lat, 0.50); got != 5 {
+		t.Fatalf("p50 = %v, want 5", got)
+	}
+	if got := pct(lat, 1.0); got != 10 {
+		t.Fatalf("p100 = %v, want 10", got)
+	}
+	if got := pct(lat[:1], 0.99); got != 1 {
+		t.Fatalf("single-sample p99 = %v, want 1", got)
+	}
+}

@@ -62,6 +62,10 @@ func run() error {
 		decisionDeadline = flag.Duration("decision-deadline", 0, "per-decision solve deadline; slower decisions degrade down the fallback ladder (0 disables)")
 		requestTimeout   = flag.Duration("request-timeout", 10*time.Second, "per-request HTTP timeout (0 disables)")
 		shutdownGrace    = flag.Duration("shutdown-grace", 10*time.Second, "time in-flight requests get to finish on SIGINT/SIGTERM")
+
+		tenants      = flag.Int("tenants", 0, "pre-create tenant-1..tenant-N at startup (others are created on first use)")
+		maxTenants   = flag.Int("max-tenants", 0, "resident tenant cap; requests for new tenants beyond it answer 429 (0 = default)")
+		shardWorkers = flag.Int("shard-workers", 0, "box-wide candidate-LP fan-out bound shared by every tenant's solves (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -111,6 +115,9 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// The instance (and therefore the candidate-LP worker bound) is shared
+	// by every tenant's engine: the flag caps the whole box, not one tenant.
+	inst.SetWorkers(*shardWorkers)
 	srv, err := server.New(server.Config{
 		World:     world,
 		Taxonomy:  taxonomy,
@@ -126,9 +133,19 @@ func run() error {
 		},
 		DecisionDeadline: *decisionDeadline,
 		RequestTimeout:   *requestTimeout,
+		MaxTenants:       *maxTenants,
 	})
 	if err != nil {
 		return err
+	}
+	for i := 1; i <= *tenants; i++ {
+		id := fmt.Sprintf("tenant-%d", i)
+		if err := srv.EnsureTenant(id); err != nil {
+			return fmt.Errorf("pre-creating %s: %w", id, err)
+		}
+	}
+	if *tenants > 0 {
+		log.Printf("pre-created %d tenants (tenant-1..tenant-%d)", *tenants, *tenants)
 	}
 
 	// Side listener for operators: pprof profiles plus a second mount of
@@ -152,6 +169,7 @@ func run() error {
 	fmt.Println("  POST /v1/quit {employee_id}")
 	fmt.Println("  POST /v1/cycle/close {} · POST /v1/cycle/new {budget} · GET /v1/status · GET /v1/metrics")
 	fmt.Println("  GET /v1/healthz · GET /v1/readyz")
+	fmt.Printf("  multi-tenant: route with the %s header or a \"tenant\" body field\n", server.TenantHeader)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -163,9 +181,12 @@ func run() error {
 		ShutdownGrace: *shutdownGrace,
 		OnDrainStart:  func() { srv.SetReady(false) },
 		OnShutdown: func() {
-			s := srv.CycleSummary()
-			log.Printf("final cycle summary: %d alerts, %d warnings, %d SAG-engaged, %.3f budget spent",
-				s.Alerts, s.Warnings, s.SAGEngaged, s.BudgetSpent)
+			sums := srv.CycleSummaries()
+			for _, id := range srv.Tenants() {
+				s := sums[id]
+				log.Printf("final cycle summary [%s]: %d alerts, %d warnings, %d SAG-engaged, %.3f budget spent",
+					id, s.Alerts, s.Warnings, s.SAGEngaged, s.BudgetSpent)
+			}
 		},
 	})
 }

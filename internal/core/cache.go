@@ -173,6 +173,29 @@ func (c *decisionCache) put(key string, d Decision) bool {
 	return true
 }
 
+// setCapacity changes the cache's entry limit in place, evicting
+// least-recently-used entries if the cache currently holds more than the new
+// limit. It returns the number of entries evicted. A limit <= 0 is clamped
+// to 1: capacity is rebalanced, never turned off, once a cache exists (the
+// multi-tenant router divides one entry budget across live tenants).
+func (c *decisionCache) setCapacity(n int) int {
+	if n <= 0 {
+		n = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cfg.Size = n
+	evicted := 0
+	for c.order.Len() > n {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+		evicted++
+	}
+	return evicted
+}
+
 // clear drops every entry (new audit cycle); the effectiveness counters are
 // cumulative across cycles and survive.
 func (c *decisionCache) clear() {

@@ -108,6 +108,11 @@ type Config struct {
 	// Metric* constants). A nil registry disables collection with
 	// near-zero overhead.
 	Metrics *obs.Registry
+	// MetricLabels are extra labels stamped on every engine instrument —
+	// the multi-tenant server passes tenant="<id>" so each tenant's engine
+	// exports its own series in the shared registry. Empty (the default)
+	// keeps the unlabeled series names of a single-tenant deployment.
+	MetricLabels []obs.Label
 	// Cache enables the per-cycle decision cache: decide() results are
 	// memoized on (alert type, quantized remaining budget, quantized
 	// future-rate vector) so repeated game states skip the LP pipeline.
@@ -303,7 +308,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		sseSolve: solve,
 		budget:   cfg.Budget,
 		initial:  cfg.Budget,
-		met:      newEngineMetrics(cfg.Metrics, cfg.Policy),
+		met:      newEngineMetrics(cfg.Metrics, cfg.Policy, cfg.MetricLabels...),
 	}
 	if cfg.Cache.Size > 0 {
 		e.cache = newDecisionCache(cfg.Cache)
@@ -819,6 +824,24 @@ func (e *Engine) memoize(key string, d *Decision) {
 		e.met.cacheEvictions.Inc()
 	}
 	e.met.cacheEntries.Set(float64(e.cache.len()))
+}
+
+// SetCacheCapacity rebalances the decision cache's entry limit, evicting
+// least-recently-used entries down to the new limit. It is a no-op when
+// caching is disabled and returns the number of entries evicted. The
+// multi-tenant shard router calls this as tenants come and go so the total
+// cached-decision footprint across all tenant engines stays bounded by one
+// box-wide budget.
+func (e *Engine) SetCacheCapacity(n int) int {
+	if e.cache == nil {
+		return 0
+	}
+	evicted := e.cache.setCapacity(n)
+	if evicted > 0 && e.met.enabled {
+		e.met.cacheEvictions.Add(uint64(evicted))
+		e.met.cacheEntries.Set(float64(e.cache.len()))
+	}
+	return evicted
 }
 
 // CacheStats returns a snapshot of the decision cache's counters; the zero

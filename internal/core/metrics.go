@@ -106,38 +106,50 @@ func (m *engineMetrics) fallbackCounter(lvl fallback.Level) *obs.Counter {
 	}
 }
 
-func newEngineMetrics(reg *obs.Registry, policy Policy) engineMetrics {
+// newEngineMetrics resolves the engine's instruments in reg. The variadic
+// extra labels (Config.MetricLabels) are stamped on every series — a
+// multi-tenant deployment passes tenant="<id>" so each tenant engine exports
+// its own series family in one shared registry; with no extras the series
+// names are exactly the unlabeled single-tenant ones.
+func newEngineMetrics(reg *obs.Registry, policy Policy, extra ...obs.Label) engineMetrics {
 	if reg == nil {
 		return engineMetrics{}
+	}
+	// with builds a fresh label slice per instrument: appending to the shared
+	// extra slice directly could alias one backing array across instruments.
+	with := func(ls ...obs.Label) []obs.Label {
+		out := make([]obs.Label, 0, len(extra)+len(ls))
+		out = append(out, extra...)
+		return append(out, ls...)
 	}
 	const stageHelp = "Per-stage SAG decision latency in seconds."
 	return engineMetrics{
 		enabled:        true,
-		stageEstimate:  reg.Histogram(MetricStageSeconds, stageHelp, obs.DefTimeBuckets, obs.L("stage", "estimate")),
-		stageSSE:       reg.Histogram(MetricStageSeconds, stageHelp, obs.DefTimeBuckets, obs.L("stage", "sse")),
-		stageSignal:    reg.Histogram(MetricStageSeconds, stageHelp, obs.DefTimeBuckets, obs.L("stage", "signal")),
-		decision:       reg.Histogram(MetricDecisionSeconds, "Whole-decision SAG latency in seconds.", obs.DefTimeBuckets),
-		decisions:      reg.Counter(MetricDecisionsTotal, "Committed engine decisions.", obs.L("policy", policy.String())),
-		vacuous:        reg.Counter(MetricVacuousTotal, "Decisions where no alert type was attackable."),
-		fallback:       reg.Counter(MetricTheorem3FallbackTotal, "Alerts solved via LP (3) because the Theorem 3 closed form did not apply."),
-		budget:         reg.Gauge(MetricBudgetRemaining, "Remaining audit budget for the current cycle."),
-		lpSolves:       reg.Counter(MetricLPSolvesTotal, "Candidate LPs solved by the online SSE stage."),
-		simplexIters:   reg.Counter(MetricSimplexIterationsTotal, "Simplex iterations across all candidate LPs."),
-		simplexPivots:  reg.Counter(MetricSimplexPivotsTotal, "Simplex tableau pivots across all candidate LPs."),
-		cacheHits:      reg.Counter(MetricCacheHitsTotal, "Decision-cache lookups served from the cache."),
-		cacheMisses:    reg.Counter(MetricCacheMissesTotal, "Decision-cache lookups that missed and re-solved."),
-		cacheEvictions: reg.Counter(MetricCacheEvictionsTotal, "Decision-cache LRU evictions at capacity."),
-		cacheEntries:   reg.Gauge(MetricCacheEntries, "Current decision-cache entry count."),
+		stageEstimate:  reg.Histogram(MetricStageSeconds, stageHelp, obs.DefTimeBuckets, with(obs.L("stage", "estimate"))...),
+		stageSSE:       reg.Histogram(MetricStageSeconds, stageHelp, obs.DefTimeBuckets, with(obs.L("stage", "sse"))...),
+		stageSignal:    reg.Histogram(MetricStageSeconds, stageHelp, obs.DefTimeBuckets, with(obs.L("stage", "signal"))...),
+		decision:       reg.Histogram(MetricDecisionSeconds, "Whole-decision SAG latency in seconds.", obs.DefTimeBuckets, with()...),
+		decisions:      reg.Counter(MetricDecisionsTotal, "Committed engine decisions.", with(obs.L("policy", policy.String()))...),
+		vacuous:        reg.Counter(MetricVacuousTotal, "Decisions where no alert type was attackable.", with()...),
+		fallback:       reg.Counter(MetricTheorem3FallbackTotal, "Alerts solved via LP (3) because the Theorem 3 closed form did not apply.", with()...),
+		budget:         reg.Gauge(MetricBudgetRemaining, "Remaining audit budget for the current cycle.", with()...),
+		lpSolves:       reg.Counter(MetricLPSolvesTotal, "Candidate LPs solved by the online SSE stage.", with()...),
+		simplexIters:   reg.Counter(MetricSimplexIterationsTotal, "Simplex iterations across all candidate LPs.", with()...),
+		simplexPivots:  reg.Counter(MetricSimplexPivotsTotal, "Simplex tableau pivots across all candidate LPs.", with()...),
+		cacheHits:      reg.Counter(MetricCacheHitsTotal, "Decision-cache lookups served from the cache.", with()...),
+		cacheMisses:    reg.Counter(MetricCacheMissesTotal, "Decision-cache lookups that missed and re-solved.", with()...),
+		cacheEvictions: reg.Counter(MetricCacheEvictionsTotal, "Decision-cache LRU evictions at capacity.", with()...),
+		cacheEntries:   reg.Gauge(MetricCacheEntries, "Current decision-cache entry count.", with()...),
 
-		fallbackCache:    reg.Counter(MetricFallbackTotal, fallbackHelp, obs.L("level", fallback.Cache.String())),
-		fallbackLastGood: reg.Counter(MetricFallbackTotal, fallbackHelp, obs.L("level", fallback.LastGood.String())),
-		fallbackStatic:   reg.Counter(MetricFallbackTotal, fallbackHelp, obs.L("level", fallback.Static.String())),
-		deadlineExceeded: reg.Counter(MetricDeadlineExceededTotal, "Decisions cut off by the per-decision deadline."),
+		fallbackCache:    reg.Counter(MetricFallbackTotal, fallbackHelp, with(obs.L("level", fallback.Cache.String()))...),
+		fallbackLastGood: reg.Counter(MetricFallbackTotal, fallbackHelp, with(obs.L("level", fallback.LastGood.String()))...),
+		fallbackStatic:   reg.Counter(MetricFallbackTotal, fallbackHelp, with(obs.L("level", fallback.Static.String()))...),
+		deadlineExceeded: reg.Counter(MetricDeadlineExceededTotal, "Decisions cut off by the per-decision deadline.", with()...),
 
-		commitRetries:   reg.Counter(MetricCommitRetriesTotal, "Optimistic commits that re-solved at a fresh budget."),
-		staleCommits:    reg.Counter(MetricStaleCommitsTotal, "Decisions committed from a stale budget snapshot after retry exhaustion."),
-		coalescedSolves: reg.Counter(MetricCoalescedSolvesTotal, "Decisions answered by an identical in-flight solve."),
-		inflightSolves:  reg.Gauge(MetricInflightSolves, "Decision pipelines currently inside the SSE/signaling solve."),
+		commitRetries:   reg.Counter(MetricCommitRetriesTotal, "Optimistic commits that re-solved at a fresh budget.", with()...),
+		staleCommits:    reg.Counter(MetricStaleCommitsTotal, "Decisions committed from a stale budget snapshot after retry exhaustion.", with()...),
+		coalescedSolves: reg.Counter(MetricCoalescedSolvesTotal, "Decisions answered by an identical in-flight solve.", with()...),
+		inflightSolves:  reg.Gauge(MetricInflightSolves, "Decision pipelines currently inside the SSE/signaling solve.", with()...),
 	}
 }
 

@@ -184,7 +184,7 @@ func TestBurstOfIdenticalAlertsCoalesces(t *testing.T) {
 	}
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if !strings.Contains(string(body), core.MetricCoalescedSolvesTotal+" 1") {
+	if !strings.Contains(string(body), core.MetricCoalescedSolvesTotal+`{tenant="default"} 1`) {
 		t.Fatalf("coalesced-solve counter not exported:\n%s", body)
 	}
 }

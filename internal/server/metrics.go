@@ -35,18 +35,18 @@ const (
 	// MetricHTTPInflightRequests gauges requests currently inside an
 	// instrumented handler.
 	MetricHTTPInflightRequests = "sag_http_inflight_requests"
+	// MetricHTTPTenantRequestsTotal counts API requests by the tenant they
+	// resolved to (after validation, before the handler body).
+	MetricHTTPTenantRequestsTotal = "sag_http_tenant_requests_total"
 )
 
-// serverMetrics holds the server's pre-resolved instruments. All fields are
-// non-nil: the server always owns a registry (its own when the caller
-// supplied none) so that GET /v1/metrics is always live.
+// serverMetrics holds the server-wide pre-resolved instruments — the
+// route-level middleware and the lifecycle-lock histograms, which span all
+// tenants. All fields are non-nil: the server always owns a registry (its
+// own when the caller supplied none) so that GET /v1/metrics is always
+// live. Per-tenant series live in tenantMetrics.
 type serverMetrics struct {
 	reg           *obs.Registry
-	accesses      *obs.Counter
-	alerts        *obs.Counter
-	warned        *obs.Counter
-	quits         *obs.Counter
-	flagged       *obs.Gauge
 	lockWaitRead  *obs.Histogram
 	lockWaitWrite *obs.Histogram
 	inflight      *obs.Gauge
@@ -56,17 +56,36 @@ func newServerMetrics(reg *obs.Registry) serverMetrics {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	const lockHelp = "Time waiting to acquire the server lifecycle lock, by side."
+	const lockHelp = "Time waiting to acquire a tenant lifecycle lock, by side."
 	return serverMetrics{
 		reg:           reg,
-		accesses:      reg.Counter(MetricAccessesTotal, "Access requests evaluated."),
-		alerts:        reg.Counter(MetricAlertsTotal, "Accesses on which a detection rule fired."),
-		warned:        reg.Counter(MetricWarnedTotal, "Accesses answered with a warning."),
-		quits:         reg.Counter(MetricQuitsTotal, "Warned accesses reported abandoned."),
-		flagged:       reg.Gauge(MetricFlaggedUsers, "Employees currently flagged as quitters."),
 		lockWaitRead:  reg.Histogram(MetricHTTPLockWaitSeconds, lockHelp, obs.DefTimeBuckets, obs.L("side", "read")),
 		lockWaitWrite: reg.Histogram(MetricHTTPLockWaitSeconds, lockHelp, obs.DefTimeBuckets, obs.L("side", "write")),
 		inflight:      reg.Gauge(MetricHTTPInflightRequests, "Requests currently inside an instrumented handler."),
+	}
+}
+
+// tenantMetrics holds one tenant's pre-resolved instruments; every series
+// carries tenant="<id>", matching the label the tenant's engine stamps on
+// its sag_engine_* series.
+type tenantMetrics struct {
+	requests *obs.Counter
+	accesses *obs.Counter
+	alerts   *obs.Counter
+	warned   *obs.Counter
+	quits    *obs.Counter
+	flagged  *obs.Gauge
+}
+
+func newTenantMetrics(reg *obs.Registry, tenant string) tenantMetrics {
+	l := obs.L("tenant", tenant)
+	return tenantMetrics{
+		requests: reg.Counter(MetricHTTPTenantRequestsTotal, "API requests by resolved tenant.", l),
+		accesses: reg.Counter(MetricAccessesTotal, "Access requests evaluated.", l),
+		alerts:   reg.Counter(MetricAlertsTotal, "Accesses on which a detection rule fired.", l),
+		warned:   reg.Counter(MetricWarnedTotal, "Accesses answered with a warning.", l),
+		quits:    reg.Counter(MetricQuitsTotal, "Warned accesses reported abandoned.", l),
+		flagged:  reg.Gauge(MetricFlaggedUsers, "Employees currently flagged as quitters.", l),
 	}
 }
 

@@ -15,21 +15,33 @@
 //	GET  /v1/healthz       — liveness probe (always 200 while serving)
 //	GET  /v1/readyz        — readiness probe (503 once draining)
 //
+// Multi-tenancy: one server hosts many independent audit cycles — one per
+// tenant (a hospital, in the paper's deployment story) — routed by the
+// X-SAG-Tenant header, the "tenant" body field, or (for GET /v1/status) the
+// ?tenant= query parameter; requests that carry none use the default
+// tenant. Each tenant owns a dedicated core.Engine behind a shard.Router
+// (see internal/shard): its own budget chain, decision cache, fallback
+// state, and RNG stream. Tenants are created on first use up to
+// Config.MaxTenants (429 beyond it); the world, detection rules, and game
+// instance — all immutable during serving — are shared, which also bounds
+// box-wide solve parallelism through the instance's shared worker pool.
+//
 // Concurrency: the serving hot path is not globally serialized. Decisions
-// run concurrently through the engine's optimistic snapshot/commit protocol
-// (see core.Engine); the server itself only takes a read lock on the cycle
-// lifecycle, so /v1/access requests overlap freely while /v1/cycle/close
-// and /v1/cycle/new take the write side and drain in-flight decisions
-// before the rollover. Per-cycle counters are atomics and the flagged-user
+// run concurrently through each engine's optimistic snapshot/commit
+// protocol (see core.Engine); the server takes only a per-tenant read lock
+// on the cycle lifecycle, so /v1/access requests overlap freely — across
+// tenants and within one — while /v1/cycle/close and /v1/cycle/new take
+// that tenant's write side and drain its in-flight decisions before the
+// rollover. Per-cycle counters are atomics and each tenant's flagged-user
 // set has its own small mutex. The full locking hierarchy is documented in
 // DESIGN.md.
 //
-// The serving path is hardened for production shapes: the API is wrapped in
-// panic recovery and an optional per-request timeout, each engine decision
-// can carry a deadline with graceful degradation (the fallback ladder in
-// internal/fallback), and Run provides the full listener lifecycle — server
-// timeouts, health-gated draining, and coordinated shutdown of the main and
-// debug listeners.
+// The serving path is hardened for production shapes: request bodies are
+// capped (Config.MaxBodyBytes), the API is wrapped in panic recovery and an
+// optional per-request timeout, each engine decision can carry a deadline
+// with graceful degradation (the fallback ladder in internal/fallback), and
+// Run provides the full listener lifecycle — server timeouts, health-gated
+// draining, and coordinated shutdown of the main and debug listeners.
 package server
 
 import (
@@ -38,6 +50,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,31 +60,70 @@ import (
 	"github.com/auditgames/sag/internal/emr"
 	"github.com/auditgames/sag/internal/game"
 	"github.com/auditgames/sag/internal/obs"
+	"github.com/auditgames/sag/internal/shard"
 )
+
+// TenantHeader is the request header naming the tenant an API call is for.
+// It wins over the "tenant" body field; absent both, the request routes to
+// Config.DefaultTenant.
+const TenantHeader = "X-SAG-Tenant"
+
+// DefaultTenantID is the tenant used when Config.DefaultTenant is empty and
+// a request names no tenant.
+const DefaultTenantID = "default"
+
+// defaultMaxBodyBytes caps request bodies when Config.MaxBodyBytes is zero.
+const defaultMaxBodyBytes = 1 << 20
 
 // Config assembles a Server.
 type Config struct {
-	// World and detection rules: every access is joined against these.
+	// World and detection rules: every access is joined against these. Both
+	// are shared by all tenants — the world is immutable during serving and
+	// the taxonomy is append-only and self-locking.
 	World    *emr.World
 	Taxonomy *alerts.Taxonomy
 	// TypeIDs maps taxonomy type IDs to engine type indices (position in
 	// the slice = engine index). Alerts of unlisted types are logged but
 	// not gamed (treated as benign for auditing purposes).
 	TypeIDs []int
-	// Instance, Budget, Estimator, Seed configure the game engine.
+	// Instance, Budget, Estimator, Seed configure the game engines. The
+	// instance is shared by every tenant engine: payoffs are immutable and
+	// its worker bound feeds the shared internal/pool, so box-wide solve
+	// parallelism stays capped no matter how many tenants are resident.
+	// Budget is each new tenant's initial cycle budget. Seed seeds the
+	// default tenant's RNG exactly; other tenants fold in a hash of their
+	// ID (see shard.Seed) so streams are distinct but reproducible.
 	Instance  *game.Instance
 	Budget    float64
 	Estimator core.Estimator
 	Seed      int64
-	// Cache configures the engine's per-cycle decision cache (see
-	// core.CacheConfig); the zero value disables caching.
+	// NewEstimator, when non-nil, builds a dedicated estimator per tenant —
+	// required for stateful estimators (the knowledge-rollback history
+	// estimator), which must not share observation state across tenants.
+	// When nil, every tenant engine shares Estimator; that is only sound
+	// for stateless estimators (fixed rate curves).
+	NewEstimator func(tenant string) (core.Estimator, error)
+	// Cache is the box-wide decision-cache budget: Cache.Size entries are
+	// divided evenly across resident tenants (rebalanced as tenants come
+	// and go), each share keyed with Cache's quanta. The zero value
+	// disables caching for every tenant.
 	Cache core.CacheConfig
+	// MaxTenants caps resident tenants; creation beyond it answers 429.
+	// Zero selects shard.DefaultMaxTenants.
+	MaxTenants int
+	// DefaultTenant names the tenant used by requests that carry none;
+	// empty selects DefaultTenantID. It is created eagerly by New.
+	DefaultTenant string
+	// MaxBodyBytes caps request bodies; oversized ones answer 413. Zero
+	// selects 1 MiB.
+	MaxBodyBytes int64
 	// Clock returns the current offset within the audit cycle; defaults to
 	// wall-clock time-of-day. Tests inject a fake.
 	Clock func() time.Duration
 	// Metrics, when non-nil, is the registry served by GET /v1/metrics and
-	// shared with the game engine. When nil the server creates a private
-	// registry, so the endpoint is always live.
+	// shared with the game engines. When nil the server creates a private
+	// registry, so the endpoint is always live. Engine and per-tenant
+	// server series carry a tenant="<id>" label.
 	Metrics *obs.Registry
 	// DecisionDeadline bounds each engine decision (see
 	// core.Config.DecisionDeadline). The server always enables the engine's
@@ -81,34 +133,34 @@ type Config struct {
 	// RequestTimeout bounds each request end to end; requests that exceed it
 	// are answered 503. Zero disables the per-request timeout.
 	RequestTimeout time.Duration
-	// SSESolve overrides the engine's online SSE solver (nil means the real
+	// SSESolve overrides the engines' online SSE solver (nil means the real
 	// game.SolveOnlineSSECtx). Injection seam for fault-injection and for
 	// the concurrency tests, which substitute a blocking solver to prove
 	// decisions overlap.
 	SSESolve core.SSESolveFunc
 }
 
-// Server is the HTTP facade. Create with New and mount via Handler.
+// tenantState is one tenant's serving state: its engine plus the HTTP
+// layer's per-tenant lifecycle and counters. It rides in shard.Tenant.Data.
 //
 // Locking hierarchy (acquire top to bottom, never upward):
 //
-//	lifecycle — RWMutex over cycle transitions. Decision handlers hold the
-//	            read side for their whole request, so any number overlap;
-//	            /v1/cycle/close and /v1/cycle/new hold the write side, so a
-//	            rollover waits for in-flight decisions and no decision ever
-//	            spans a cycle boundary. Also guards closed.
-//	flaggedMu — RWMutex over the flagged-quitter set only.
+//	lifecycle — RWMutex over this tenant's cycle transitions. Decision
+//	            handlers hold the read side for their whole request, so any
+//	            number overlap; /v1/cycle/close and /v1/cycle/new hold the
+//	            write side, so a rollover waits for in-flight decisions and
+//	            no decision ever spans a cycle boundary. Also guards closed.
+//	flaggedMu — RWMutex over this tenant's flagged-quitter set only.
 //	engine    — core.Engine's own internal locks (optimistic commit).
 //
 // Per-cycle counters (accesses, alerts, warned, quits) are atomics: they
 // are written on the hot path and read only by /v1/status and the close
 // handler's seed derivation.
-type Server struct {
-	detector *alerts.Engine
-	engine   *core.Engine
-	cfg      Config
-	met      serverMetrics
-	typeIdx  map[int]int // taxonomy ID → engine index
+type tenantState struct {
+	id         string
+	seedOffset int64 // folded into RNG seeds; 0 for the default tenant
+	engine     *core.Engine
+	met        tenantMetrics
 
 	lifecycle sync.RWMutex
 	closed    bool // cycle closed, awaiting /v1/cycle/new; guarded by lifecycle
@@ -120,41 +172,46 @@ type Server struct {
 	alerts   atomic.Int64
 	warned   atomic.Int64
 	quits    atomic.Int64
-	ready    atomic.Bool
 }
 
-// New validates the configuration and builds the server.
+// Server is the HTTP facade. Create with New and mount via Handler.
+type Server struct {
+	detector  *alerts.Engine
+	cfg       Config
+	met       serverMetrics
+	typeIdx   map[int]int // taxonomy ID → engine index
+	router    *shard.Router
+	defaultID string
+	maxBody   int64
+	ready     atomic.Bool
+}
+
+// New validates the configuration and builds the server. The default
+// tenant is created eagerly, so a single-tenant deployment never pays the
+// create-on-first-use path.
 func New(cfg Config) (*Server, error) {
 	if cfg.World == nil || cfg.Taxonomy == nil {
 		return nil, errors.New("server: World and Taxonomy are required")
 	}
-	if cfg.Instance == nil || cfg.Estimator == nil {
-		return nil, errors.New("server: Instance and Estimator are required")
+	if cfg.Instance == nil {
+		return nil, errors.New("server: Instance is required")
+	}
+	if cfg.Estimator == nil && cfg.NewEstimator == nil {
+		return nil, errors.New("server: Estimator or NewEstimator is required")
 	}
 	if len(cfg.TypeIDs) != cfg.Instance.NumTypes() {
 		return nil, fmt.Errorf("server: %d type IDs for %d engine types", len(cfg.TypeIDs), cfg.Instance.NumTypes())
 	}
-	detector, err := alerts.NewEngine(cfg.World, cfg.Taxonomy)
-	if err != nil {
-		return nil, err
+	if cfg.DefaultTenant == "" {
+		cfg.DefaultTenant = DefaultTenantID
 	}
-	met := newServerMetrics(cfg.Metrics)
-	engine, err := core.NewEngine(core.Config{
-		Instance:  cfg.Instance,
-		Budget:    cfg.Budget,
-		Estimator: cfg.Estimator,
-		Policy:    core.PolicyOSSP,
-		Rand:      rand.New(rand.NewSource(cfg.Seed)),
-		Cache:     cfg.Cache,
-		Metrics:   met.reg,
-		// The serving path never trades availability for optimality: a
-		// failed or slow solve degrades down the fallback ladder (cache →
-		// last-good θ → static never-warn policy) instead of surfacing as an
-		// error to the EMR front end.
-		DecisionDeadline: cfg.DecisionDeadline,
-		Fallback:         true,
-		SSESolve:         cfg.SSESolve,
-	})
+	if !shard.ValidID(cfg.DefaultTenant) {
+		return nil, fmt.Errorf("server: invalid default tenant %q", cfg.DefaultTenant)
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = defaultMaxBodyBytes
+	}
+	detector, err := alerts.NewEngine(cfg.World, cfg.Taxonomy)
 	if err != nil {
 		return nil, err
 	}
@@ -174,15 +231,98 @@ func New(cfg Config) (*Server, error) {
 		idx[id] = i
 	}
 	s := &Server{
-		detector: detector,
-		engine:   engine,
-		cfg:      cfg,
-		met:      met,
-		typeIdx:  idx,
-		flagged:  make(map[int]bool),
+		detector:  detector,
+		cfg:       cfg,
+		met:       newServerMetrics(cfg.Metrics),
+		typeIdx:   idx,
+		defaultID: cfg.DefaultTenant,
+		maxBody:   cfg.MaxBodyBytes,
+	}
+	s.router, err = shard.NewRouter(shard.Config{
+		New:         s.buildTenant,
+		MaxTenants:  cfg.MaxTenants,
+		CacheBudget: cfg.Cache.Size,
+		Metrics:     s.met.reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := s.router.GetOrCreate(s.defaultID); err != nil {
+		return nil, err
 	}
 	s.ready.Store(true)
 	return s, nil
+}
+
+// buildTenant is the shard.Router constructor: one engine + serving state
+// per tenant. The default tenant's RNG seed is Config.Seed exactly, so a
+// single-tenant deployment is bit-identical (decisions, signal draws, audit
+// plans) to the pre-sharding server; other tenants fold in shard.Seed(id).
+func (s *Server) buildTenant(id string) (*core.Engine, any, error) {
+	var seedOffset int64
+	if id != s.defaultID {
+		seedOffset = int64(shard.Seed(id))
+	}
+	est := s.cfg.Estimator
+	if s.cfg.NewEstimator != nil {
+		var err error
+		if est, err = s.cfg.NewEstimator(id); err != nil {
+			return nil, nil, fmt.Errorf("server: estimator for tenant %q: %w", id, err)
+		}
+	}
+	engine, err := core.NewEngine(core.Config{
+		Instance:  s.cfg.Instance,
+		Budget:    s.cfg.Budget,
+		Estimator: est,
+		Policy:    core.PolicyOSSP,
+		Rand:      rand.New(rand.NewSource(s.cfg.Seed ^ seedOffset)),
+		Cache:     s.cfg.Cache,
+		Metrics:   s.met.reg,
+		// Every engine series carries the tenant label so one scrape
+		// separates the tenants' budget chains, cache effectiveness, and
+		// fallback activity.
+		MetricLabels: []obs.Label{obs.L("tenant", id)},
+		// The serving path never trades availability for optimality: a
+		// failed or slow solve degrades down the fallback ladder (cache →
+		// last-good θ → static never-warn policy) instead of surfacing as an
+		// error to the EMR front end.
+		DecisionDeadline: s.cfg.DecisionDeadline,
+		Fallback:         true,
+		SSESolve:         s.cfg.SSESolve,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &tenantState{
+		id:         id,
+		seedOffset: seedOffset,
+		engine:     engine,
+		met:        newTenantMetrics(s.met.reg, id),
+		flagged:    make(map[int]bool),
+	}
+	return engine, t, nil
+}
+
+// EnsureTenant creates the tenant if it is not yet resident — the
+// pre-provisioning hook cmd/sagserver's -tenants flag uses so benchmarked
+// tenants skip the create-on-first-use path.
+func (s *Server) EnsureTenant(id string) error {
+	if !shard.ValidID(id) {
+		return fmt.Errorf("server: invalid tenant ID %q", id)
+	}
+	_, _, err := s.router.GetOrCreate(id)
+	return err
+}
+
+// Tenants returns the IDs of the resident tenants, sorted.
+func (s *Server) Tenants() []string {
+	ids := make([]string, 0, s.router.Len())
+	s.router.Range(func(t *shard.Tenant) bool {
+		ids = append(ids, t.ID)
+		return true
+	})
+	sort.Strings(ids)
+	return ids
 }
 
 // SetReady flips the readiness gate served by GET /v1/readyz. The graceful
@@ -190,16 +330,35 @@ func New(cfg Config) (*Server, error) {
 // routing new traffic while in-flight requests finish.
 func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
 
-// CycleSummary returns the engine's aggregate view of the current cycle —
-// the shutdown path logs it so an interrupted cycle is not lost silently.
+// CycleSummary returns the default tenant's aggregate view of the current
+// cycle.
 func (s *Server) CycleSummary() core.CycleSummary {
-	return s.engine.Summary()
+	t, ok := s.router.Get(s.defaultID)
+	if !ok {
+		return core.CycleSummary{}
+	}
+	return t.Engine.Summary()
+}
+
+// CycleSummaries returns every resident tenant's aggregate view of its
+// current cycle, keyed by tenant ID — the shutdown path logs them so no
+// tenant's interrupted cycle is lost silently.
+func (s *Server) CycleSummaries() map[string]core.CycleSummary {
+	out := make(map[string]core.CycleSummary, s.router.Len())
+	s.router.Range(func(t *shard.Tenant) bool {
+		out[t.ID] = t.Engine.Summary()
+		return true
+	})
+	return out
 }
 
 // AccessRequest is the body of POST /v1/access.
 type AccessRequest struct {
 	EmployeeID int `json:"employee_id"`
 	PatientID  int `json:"patient_id"`
+	// Tenant routes the request; empty means the X-SAG-Tenant header or,
+	// absent that too, the default tenant.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // AccessResponse is the decision for one access request.
@@ -228,7 +387,14 @@ type AccessResponse struct {
 // access. Quitting reveals the requester (the paper's Theorem 3 remark),
 // so the server flags the employee.
 type QuitRequest struct {
-	EmployeeID int `json:"employee_id"`
+	EmployeeID int    `json:"employee_id"`
+	Tenant     string `json:"tenant,omitempty"`
+}
+
+// CloseRequest is the (optional) body of POST /v1/cycle/close; the close
+// itself needs no parameters, the body exists to carry the tenant field.
+type CloseRequest struct {
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // CloseResponse is the retrospective audit plan.
@@ -240,10 +406,15 @@ type CloseResponse struct {
 // NewCycleRequest starts the next audit cycle.
 type NewCycleRequest struct {
 	Budget float64 `json:"budget"`
+	Tenant string  `json:"tenant,omitempty"`
 }
 
-// Status is the GET /v1/status snapshot.
+// Status is the GET /v1/status snapshot for one tenant.
 type Status struct {
+	// Tenant is the tenant this snapshot describes; ActiveTenants counts
+	// all resident tenants on the server.
+	Tenant          string  `json:"tenant"`
+	ActiveTenants   int     `json:"active_tenants"`
 	Budget          float64 `json:"budget"`
 	RemainingBudget float64 `json:"remaining_budget"`
 	Accesses        int     `json:"accesses"`
@@ -323,38 +494,106 @@ type apiError struct {
 	Error string `json:"error"`
 }
 
-// lockLifecycleR / lockLifecycleW acquire the lifecycle lock, observing the
-// wait in sag_http_lock_wait_seconds so re-serialization regressions show up
-// on dashboards before they show up as latency.
-func (s *Server) lockLifecycleR() {
+// decodeJSON decodes a capped request body into v, answering the error
+// response (400 for malformed JSON, 413 for an oversized body) itself.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				apiError{Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
+			return false
+		}
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "invalid JSON: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+// tenantID resolves the tenant a request addresses: the X-SAG-Tenant header
+// wins, then the body's tenant field, then the default tenant.
+func (s *Server) tenantID(r *http.Request, bodyTenant string) string {
+	if h := r.Header.Get(TenantHeader); h != "" {
+		return h
+	}
+	if bodyTenant != "" {
+		return bodyTenant
+	}
+	return s.defaultID
+}
+
+// resolveTenant returns the serving state for id, answering the error
+// response itself when it cannot: 400 for a malformed ID, 429 when
+// create-on-first-use would exceed the tenant cap, 404 for an unknown
+// tenant on endpoints that must not create one, 500 for a constructor
+// failure.
+func (s *Server) resolveTenant(w http.ResponseWriter, id string, create bool) *tenantState {
+	if !shard.ValidID(id) {
+		writeJSON(w, http.StatusBadRequest,
+			apiError{Error: fmt.Sprintf("invalid tenant ID %q: want 1-%d chars of [A-Za-z0-9._-]", id, shard.MaxIDLength)})
+		return nil
+	}
+	var tn *shard.Tenant
+	if create {
+		var err error
+		tn, _, err = s.router.GetOrCreate(id)
+		if err != nil {
+			if errors.Is(err, shard.ErrTenantLimit) {
+				writeJSON(w, http.StatusTooManyRequests,
+					apiError{Error: fmt.Sprintf("tenant limit reached (%d resident); tenant %q not created", s.router.Len(), id)})
+				return nil
+			}
+			writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+			return nil
+		}
+	} else {
+		var ok bool
+		if tn, ok = s.router.Get(id); !ok {
+			writeJSON(w, http.StatusNotFound, apiError{Error: fmt.Sprintf("unknown tenant %q", id)})
+			return nil
+		}
+	}
+	t := tn.Data.(*tenantState)
+	t.met.requests.Inc()
+	return t
+}
+
+// lockLifecycleR / lockLifecycleW acquire one tenant's lifecycle lock,
+// observing the wait in sag_http_lock_wait_seconds so re-serialization
+// regressions show up on dashboards before they show up as latency.
+func (s *Server) lockLifecycleR(t *tenantState) {
 	t0 := time.Now()
-	s.lifecycle.RLock()
+	t.lifecycle.RLock()
 	s.met.lockWaitRead.ObserveSince(t0)
 }
 
-func (s *Server) lockLifecycleW() {
+func (s *Server) lockLifecycleW(t *tenantState) {
 	t0 := time.Now()
-	s.lifecycle.Lock()
+	t.lifecycle.Lock()
 	s.met.lockWaitWrite.ObserveSince(t0)
 }
 
 func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request) {
 	var req AccessRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: "invalid JSON: " + err.Error()})
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	t := s.resolveTenant(w, s.tenantID(r, req.Tenant), true)
+	if t == nil {
 		return
 	}
 	// Read side only: any number of access decisions overlap; the solve
 	// itself runs under the engine's optimistic-commit protocol, not under
 	// any server lock.
-	s.lockLifecycleR()
-	defer s.lifecycle.RUnlock()
-	if s.closed {
+	s.lockLifecycleR(t)
+	defer t.lifecycle.RUnlock()
+	if t.closed {
 		writeJSON(w, http.StatusConflict, apiError{Error: "audit cycle is closed; POST /v1/cycle/new to start the next one"})
 		return
 	}
-	s.accesses.Add(1)
-	s.met.accesses.Inc()
+	t.accesses.Add(1)
+	t.met.accesses.Inc()
 
 	now := s.cfg.Clock()
 	alert, fired, err := s.detector.Evaluate(emr.AccessEvent{
@@ -366,27 +605,27 @@ func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
 	}
-	resp := AccessResponse{RemainingBudget: s.engine.RemainingBudget()}
+	resp := AccessResponse{RemainingBudget: t.engine.RemainingBudget()}
 	if !fired {
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	s.alerts.Add(1)
-	s.met.alerts.Inc()
+	t.alerts.Add(1)
+	t.met.alerts.Inc()
 	resp.Alert = true
 	resp.TypeID = alert.Type
 	resp.Rules = alert.Rules.String()
 
-	s.flaggedMu.RLock()
-	isFlagged := s.flagged[req.EmployeeID]
-	s.flaggedMu.RUnlock()
+	t.flaggedMu.RLock()
+	isFlagged := t.flagged[req.EmployeeID]
+	t.flaggedMu.RUnlock()
 	if isFlagged {
 		// Known quitter: always warn (and the access is investigated out
 		// of band — the paper notes this is cheap because quits are rare).
 		resp.Warn = true
 		resp.Flagged = true
-		s.warned.Add(1)
-		s.met.warned.Inc()
+		t.warned.Add(1)
+		t.met.warned.Inc()
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
@@ -397,7 +636,7 @@ func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	d, err := s.engine.ProcessContext(r.Context(), core.Alert{Type: idx, Time: now})
+	d, err := t.engine.ProcessContext(r.Context(), core.Alert{Type: idx, Time: now})
 	if err != nil {
 		// ErrCycleRolledOver cannot fire while we hold the lifecycle read
 		// lock, but embedders drive the engine directly too — map it to the
@@ -415,20 +654,23 @@ func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request) {
 		resp.Fallback = d.Fallback.String()
 	}
 	if d.Warned {
-		s.warned.Add(1)
-		s.met.warned.Inc()
+		t.warned.Add(1)
+		t.met.warned.Inc()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleQuit(w http.ResponseWriter, r *http.Request) {
 	var req QuitRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: "invalid JSON: " + err.Error()})
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
-	s.lockLifecycleR()
-	defer s.lifecycle.RUnlock()
+	t := s.resolveTenant(w, s.tenantID(r, req.Tenant), true)
+	if t == nil {
+		return
+	}
+	s.lockLifecycleR(t)
+	defer t.lifecycle.RUnlock()
 	if req.EmployeeID < 0 || req.EmployeeID >= len(s.cfg.World.Employees) {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("unknown employee %d", req.EmployeeID)})
 		return
@@ -436,16 +678,16 @@ func (s *Server) handleQuit(w http.ResponseWriter, r *http.Request) {
 	// Idempotent: a quit reveals the requester once. Repeating the report
 	// re-confirms the flag but must not inflate the quit counter (or the
 	// flagged gauge) — front ends retry.
-	s.flaggedMu.Lock()
-	first := !s.flagged[req.EmployeeID]
+	t.flaggedMu.Lock()
+	first := !t.flagged[req.EmployeeID]
 	if first {
-		s.flagged[req.EmployeeID] = true
-		s.met.flagged.Set(float64(len(s.flagged)))
+		t.flagged[req.EmployeeID] = true
+		t.met.flagged.Set(float64(len(t.flagged)))
 	}
-	s.flaggedMu.Unlock()
+	t.flaggedMu.Unlock()
 	if first {
-		s.quits.Add(1)
-		s.met.quits.Inc()
+		t.quits.Add(1)
+		t.met.quits.Inc()
 	}
 	writeJSON(w, http.StatusOK, struct {
 		Flagged bool `json:"flagged"`
@@ -453,60 +695,81 @@ func (s *Server) handleQuit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
-	// Write side: wait for in-flight decisions, then freeze the cycle. A
-	// second close is a conflict — re-sampling would draw a fresh audit
-	// plan (and re-charge its total) for a cycle that already has one.
-	s.lockLifecycleW()
-	defer s.lifecycle.Unlock()
-	if s.closed {
+	// The close itself takes no parameters; the body is decoded only for
+	// its optional tenant field and malformed bodies are deliberately
+	// tolerated (callers historically POST empty or junk bodies here).
+	var req CloseRequest
+	_ = json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody)).Decode(&req)
+	// Closing must not create: an unknown tenant has no cycle to close.
+	t := s.resolveTenant(w, s.tenantID(r, req.Tenant), false)
+	if t == nil {
+		return
+	}
+	// Write side: wait for this tenant's in-flight decisions, then freeze
+	// the cycle. A second close is a conflict — re-sampling would draw a
+	// fresh audit plan (and re-charge its total) for a cycle that already
+	// has one.
+	s.lockLifecycleW(t)
+	defer t.lifecycle.Unlock()
+	if t.closed {
 		writeJSON(w, http.StatusConflict, apiError{Error: "audit cycle already closed; POST /v1/cycle/new to start the next one"})
 		return
 	}
-	rng := rand.New(rand.NewSource(s.cfg.Seed ^ s.accesses.Load()))
-	audits, total := s.engine.CloseCycle(rng)
-	s.closed = true
+	rng := rand.New(rand.NewSource(s.cfg.Seed ^ t.seedOffset ^ t.accesses.Load()))
+	audits, total := t.engine.CloseCycle(rng)
+	t.closed = true
 	writeJSON(w, http.StatusOK, CloseResponse{Audits: audits, TotalCost: total})
 }
 
 func (s *Server) handleNewCycle(w http.ResponseWriter, r *http.Request) {
 	var req NewCycleRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, apiError{Error: "invalid JSON: " + err.Error()})
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
-	s.lockLifecycleW()
-	defer s.lifecycle.Unlock()
-	if err := s.engine.NewCycle(req.Budget); err != nil {
+	t := s.resolveTenant(w, s.tenantID(r, req.Tenant), true)
+	if t == nil {
+		return
+	}
+	s.lockLifecycleW(t)
+	defer t.lifecycle.Unlock()
+	if err := t.engine.NewCycle(req.Budget); err != nil {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
 	}
 	// Reset every per-cycle counter. Flagged users deliberately survive the
 	// rollover: a quit reveals the requester for good (paper §4).
-	s.closed = false
-	s.accesses.Store(0)
-	s.alerts.Store(0)
-	s.warned.Store(0)
-	s.quits.Store(0)
+	t.closed = false
+	t.accesses.Store(0)
+	t.alerts.Store(0)
+	t.warned.Store(0)
+	t.quits.Store(0)
 	writeJSON(w, http.StatusOK, struct {
 		Budget float64 `json:"budget"`
 	}{Budget: req.Budget})
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	s.lockLifecycleR()
-	closed := s.closed
-	s.lifecycle.RUnlock()
-	s.flaggedMu.RLock()
-	flagged := len(s.flagged)
-	s.flaggedMu.RUnlock()
-	cs := s.engine.CacheStats()
+	// GET carries no body; the query parameter stands in for it.
+	t := s.resolveTenant(w, s.tenantID(r, r.URL.Query().Get("tenant")), false)
+	if t == nil {
+		return
+	}
+	s.lockLifecycleR(t)
+	closed := t.closed
+	t.lifecycle.RUnlock()
+	t.flaggedMu.RLock()
+	flagged := len(t.flagged)
+	t.flaggedMu.RUnlock()
+	cs := t.engine.CacheStats()
 	writeJSON(w, http.StatusOK, Status{
-		Budget:          s.engine.InitialBudget(),
-		RemainingBudget: s.engine.RemainingBudget(),
-		Accesses:        int(s.accesses.Load()),
-		Alerts:          int(s.alerts.Load()),
-		Warned:          int(s.warned.Load()),
-		Quits:           int(s.quits.Load()),
+		Tenant:          t.id,
+		ActiveTenants:   s.router.Len(),
+		Budget:          t.engine.InitialBudget(),
+		RemainingBudget: t.engine.RemainingBudget(),
+		Accesses:        int(t.accesses.Load()),
+		Alerts:          int(t.alerts.Load()),
+		Warned:          int(t.warned.Load()),
+		Quits:           int(t.quits.Load()),
 		FlaggedUsers:    flagged,
 		NumTypes:        s.cfg.Instance.NumTypes(),
 		Closed:          closed,

@@ -75,6 +75,8 @@ func TestCycleRolloverResetsFullStatus(t *testing.T) {
 		t.Fatalf("status code %d", code)
 	}
 	want := Status{
+		Tenant:          DefaultTenantID,
+		ActiveTenants:   1,
 		Budget:          30,
 		RemainingBudget: 30,
 		Accesses:        0,
@@ -227,18 +229,21 @@ func TestMetricsEndpoint(t *testing.T) {
 		`sag_http_requests_total{code="200",route="/v1/access"} 10`,
 		`sag_http_request_seconds_count{route="/v1/access"} 10`,
 		`sag_http_request_seconds_bucket{route="/v1/access",le="+Inf"} 10`,
-		// Service counters.
-		"sag_server_accesses_total 10",
-		"sag_server_alerts_total 10",
-		"sag_server_quits_total 1",
-		"sag_server_flagged_users 1",
-		// Engine per-stage timings and solver counters.
-		`sag_engine_stage_seconds_count{stage="estimate"} 10`,
-		`sag_engine_stage_seconds_count{stage="sse"} 10`,
-		`sag_engine_stage_seconds_count{stage="signal"} 10`,
+		// Service counters, labeled by tenant.
+		`sag_server_accesses_total{tenant="default"} 10`,
+		`sag_server_alerts_total{tenant="default"} 10`,
+		`sag_server_quits_total{tenant="default"} 1`,
+		`sag_server_flagged_users{tenant="default"} 1`,
+		`sag_http_tenant_requests_total{tenant="default"}`,
+		// Engine per-stage timings and solver counters, labeled by tenant.
+		`sag_engine_stage_seconds_count{stage="estimate",tenant="default"} 10`,
+		`sag_engine_stage_seconds_count{stage="sse",tenant="default"} 10`,
+		`sag_engine_stage_seconds_count{stage="signal",tenant="default"} 10`,
 		"sag_engine_simplex_iterations_total",
 		"sag_engine_simplex_pivots_total",
-		"sag_engine_lp_solves_total 70", // 10 decisions × 7 attackable types
+		`sag_engine_lp_solves_total{tenant="default"} 70`, // 10 decisions × 7 attackable types
+		// Shard accounting.
+		"sag_shard_tenants_active 1",
 		// Budget gauge.
 		"sag_engine_budget_remaining",
 		"# TYPE sag_http_request_seconds histogram",
@@ -259,7 +264,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	// Warned split: server-level warned counter matches the status snapshot.
 	var st Status
 	get(t, ts, "/v1/status", &st)
-	if got := reg.Snapshot().Counters[MetricWarnedTotal]; got != uint64(st.Warned) {
+	if got := reg.Snapshot().Counters[obs.Key(MetricWarnedTotal, obs.L("tenant", DefaultTenantID))]; got != uint64(st.Warned) {
 		t.Fatalf("warned counter %d vs status %d", got, st.Warned)
 	}
 }
@@ -408,7 +413,7 @@ func TestConcurrencySmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := fmt.Sprintf("sag_server_accesses_total %d", writers*iters)
+	want := fmt.Sprintf(`sag_server_accesses_total{tenant="default"} %d`, writers*iters)
 	if !strings.Contains(string(raw), want) {
 		t.Fatalf("metrics missing %q", want)
 	}
