@@ -8,21 +8,27 @@
 //
 //	go test -bench=BenchmarkOSSPDecision -count=6 ./... > pr.txt
 //	git worktree add /tmp/base <merge-base> && (cd /tmp/base && go test ... > base.txt)
-//	benchgate -base base.txt -pr pr.txt -max-regression 0.20
+//	benchgate -base base.txt -pr pr.txt -max-regression 0.20 -json-out BENCH_$(git rev-parse HEAD).json
 //
 // Benchmarks are matched by name with the trailing -<GOMAXPROCS> suffix
 // stripped; repeated runs (-count > 1) are averaged. A missing or empty
 // base file passes (first run on a new branch has nothing to compare), as
 // do benchmarks present on only one side.
+//
+// -json-out writes the full comparison as JSON — the CI bench job uploads
+// it as the BENCH_<sha>.json artifact so perf history survives log expiry
+// and can be diffed across commits without re-running anything.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -33,15 +39,36 @@ func main() {
 		prPath   = flag.String("pr", "", "benchmark output of the candidate change")
 		maxReg   = flag.Float64("max-regression", 0.20, "maximum allowed fractional ns/op increase")
 		match    = flag.String("match", "", "optional regexp restricting which benchmarks are gated")
+		jsonOut  = flag.String("json-out", "", "optional path for a machine-readable JSON report of the comparison")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *basePath, *prPath, *maxReg, *match); err != nil {
+	if err := run(os.Stdout, *basePath, *prPath, *maxReg, *match, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, basePath, prPath string, maxReg float64, match string) error {
+// Comparison is the JSON report written by -json-out.
+type Comparison struct {
+	MaxRegression float64  `json:"max_regression"`
+	Gated         []Result `json:"gated"`
+	// BaseOnly / PROnly list benchmarks present on one side only — not
+	// gated, but recorded so a silently vanished benchmark is visible.
+	BaseOnly []string `json:"base_only,omitempty"`
+	PROnly   []string `json:"pr_only,omitempty"`
+	Failures []string `json:"failures,omitempty"`
+}
+
+// Result is one gated benchmark's before/after.
+type Result struct {
+	Name   string  `json:"name"`
+	BaseNs float64 `json:"base_ns_op"`
+	PRNs   float64 `json:"pr_ns_op"`
+	Delta  float64 `json:"delta"` // fractional change; 0.05 = 5% slower
+	Failed bool    `json:"failed"`
+}
+
+func run(w io.Writer, basePath, prPath string, maxReg float64, match, jsonOut string) error {
 	if prPath == "" {
 		return fmt.Errorf("-pr is required")
 	}
@@ -58,37 +85,88 @@ func run(w io.Writer, basePath, prPath string, maxReg float64, match string) err
 	}
 	base, err := parseFile(basePath)
 	if err != nil {
-		if os.IsNotExist(err) {
-			fmt.Fprintf(w, "no base file %q — nothing to gate\n", basePath)
-			return nil
+		if !os.IsNotExist(err) {
+			return err
 		}
-		return err
-	}
-	if len(base) == 0 {
+		fmt.Fprintf(w, "no base file %q — nothing to gate\n", basePath)
+		base = nil
+	} else if len(base) == 0 {
 		fmt.Fprintln(w, "empty base — nothing to gate")
-		return nil
 	}
 
-	var failures []string
+	cmp := Comparison{MaxRegression: maxReg}
+	for name := range base {
+		if _, ok := pr[name]; !ok {
+			cmp.BaseOnly = append(cmp.BaseOnly, name)
+		}
+	}
+	for name := range pr {
+		if _, ok := base[name]; !ok {
+			cmp.PROnly = append(cmp.PROnly, name)
+		}
+	}
 	for name, b := range base {
 		p, ok := pr[name]
 		if !ok || (filter != nil && !filter.MatchString(name)) {
 			continue
 		}
 		delta := p.mean()/b.mean() - 1
-		verdict := "ok"
-		if delta > maxReg {
-			verdict = "FAIL"
-			failures = append(failures, name)
+		cmp.Gated = append(cmp.Gated, Result{
+			Name:   name,
+			BaseNs: b.mean(),
+			PRNs:   p.mean(),
+			Delta:  delta,
+			Failed: delta > maxReg,
+		})
+	}
+	// Deterministic table order: worst regression first, so the line that
+	// failed the build is the first line anyone reads.
+	sort.Slice(cmp.Gated, func(i, j int) bool {
+		if cmp.Gated[i].Delta != cmp.Gated[j].Delta {
+			return cmp.Gated[i].Delta > cmp.Gated[j].Delta
 		}
-		fmt.Fprintf(w, "%-50s %12.0f → %12.0f ns/op  %+6.1f%%  %s\n",
-			name, b.mean(), p.mean(), 100*delta, verdict)
+		return cmp.Gated[i].Name < cmp.Gated[j].Name
+	})
+	sort.Strings(cmp.BaseOnly)
+	sort.Strings(cmp.PROnly)
+
+	if len(cmp.Gated) > 0 {
+		fmt.Fprintf(w, "%-50s %14s %14s %8s  %s\n", "benchmark", "base ns/op", "pr ns/op", "delta", "verdict")
+		for _, g := range cmp.Gated {
+			verdict := "ok"
+			if g.Failed {
+				verdict = "FAIL"
+				cmp.Failures = append(cmp.Failures, g.Name)
+			}
+			fmt.Fprintf(w, "%-50s %14.0f %14.0f %+7.1f%%  %s\n",
+				g.Name, g.BaseNs, g.PRNs, 100*g.Delta, verdict)
+		}
 	}
-	if len(failures) > 0 {
+	for _, name := range cmp.BaseOnly {
+		fmt.Fprintf(w, "%-50s vanished from PR (not gated)\n", name)
+	}
+	for _, name := range cmp.PROnly {
+		fmt.Fprintf(w, "%-50s new in PR (no base to gate against)\n", name)
+	}
+
+	if jsonOut != "" {
+		blob, err := json.MarshalIndent(cmp, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonOut, append(blob, '\n'), 0o644); err != nil {
+			return fmt.Errorf("writing -json-out: %w", err)
+		}
+		fmt.Fprintf(w, "wrote JSON report to %s\n", jsonOut)
+	}
+
+	if len(cmp.Failures) > 0 {
 		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%%: %s",
-			len(failures), 100*maxReg, strings.Join(failures, ", "))
+			len(cmp.Failures), 100*maxReg, strings.Join(cmp.Failures, ", "))
 	}
-	fmt.Fprintf(w, "all gated benchmarks within %.0f%% of base\n", 100*maxReg)
+	if len(cmp.Gated) > 0 {
+		fmt.Fprintf(w, "all gated benchmarks within %.0f%% of base\n", 100*maxReg)
+	}
 	return nil
 }
 

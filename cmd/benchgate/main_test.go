@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -51,16 +52,20 @@ func TestGatePassesWithinThreshold(t *testing.T) {
 	pr := write(t, dir, "pr.txt",
 		"BenchmarkOSSPDecision-8 200 68000 ns/op\nBenchmarkOnlyInPR-8 10 999999 ns/op\n")
 	var buf bytes.Buffer
-	if err := run(&buf, base, pr, 0.20, ""); err != nil {
+	if err := run(&buf, base, pr, 0.20, "", ""); err != nil {
 		t.Fatalf("within-threshold comparison failed: %v\n%s", err, buf.String())
 	}
 	if !strings.Contains(buf.String(), "ok") {
 		t.Fatalf("no verdict printed:\n%s", buf.String())
 	}
-	// Benchmarks on only one side must not be compared.
-	for _, absent := range []string{"OnlyInBase", "OnlyInPR"} {
-		if strings.Contains(buf.String(), absent+" ") {
-			t.Fatalf("one-sided benchmark %s was gated:\n%s", absent, buf.String())
+	// Benchmarks on only one side are listed but never gated.
+	if !strings.Contains(buf.String(), "vanished from PR") || !strings.Contains(buf.String(), "new in PR") {
+		t.Fatalf("one-sided benchmarks not surfaced:\n%s", buf.String())
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if (strings.Contains(line, "OnlyInBase") || strings.Contains(line, "OnlyInPR")) &&
+			(strings.Contains(line, "ok") || strings.Contains(line, "FAIL")) {
+			t.Fatalf("one-sided benchmark was gated: %s", line)
 		}
 	}
 }
@@ -70,7 +75,7 @@ func TestGateFailsOnRegression(t *testing.T) {
 	base := write(t, dir, "base.txt", baseOut)
 	pr := write(t, dir, "pr.txt", "BenchmarkOSSPDecision-4 200 90000 ns/op\n")
 	var buf bytes.Buffer
-	err := run(&buf, base, pr, 0.20, "")
+	err := run(&buf, base, pr, 0.20, "", "")
 	if err == nil {
 		t.Fatalf("45%% regression passed the 20%% gate:\n%s", buf.String())
 	}
@@ -85,11 +90,11 @@ func TestGateMatchFilter(t *testing.T) {
 	pr := write(t, dir, "pr.txt",
 		"BenchmarkOSSPDecision-4 200 61000 ns/op\nBenchmarkOSSPDecisionCached-4 1000 9000 ns/op\n")
 	// Unfiltered, the cached benchmark's 4.5x regression fails the gate...
-	if err := run(&bytes.Buffer{}, base, pr, 0.20, ""); err == nil {
+	if err := run(&bytes.Buffer{}, base, pr, 0.20, "", ""); err == nil {
 		t.Fatal("cached regression slipped through without a filter")
 	}
 	// ...but a filter on the uncached benchmark ignores it.
-	if err := run(&bytes.Buffer{}, base, pr, 0.20, `^BenchmarkOSSPDecision$`); err != nil {
+	if err := run(&bytes.Buffer{}, base, pr, 0.20, `^BenchmarkOSSPDecision$`, ""); err != nil {
 		t.Fatalf("filtered gate failed: %v", err)
 	}
 }
@@ -98,14 +103,56 @@ func TestGateToleratesMissingOrEmptyBase(t *testing.T) {
 	dir := t.TempDir()
 	pr := write(t, dir, "pr.txt", "BenchmarkOSSPDecision-4 200 60000 ns/op\n")
 	var buf bytes.Buffer
-	if err := run(&buf, filepath.Join(dir, "nope.txt"), pr, 0.20, ""); err != nil {
+	if err := run(&buf, filepath.Join(dir, "nope.txt"), pr, 0.20, "", ""); err != nil {
 		t.Fatalf("missing base must pass: %v", err)
 	}
 	empty := write(t, dir, "empty.txt", "PASS\n")
-	if err := run(&buf, empty, pr, 0.20, ""); err != nil {
+	if err := run(&buf, empty, pr, 0.20, "", ""); err != nil {
 		t.Fatalf("empty base must pass: %v", err)
 	}
-	if err := run(&buf, empty, filepath.Join(dir, "also-nope.txt"), 0.20, ""); err == nil {
+	if err := run(&buf, empty, filepath.Join(dir, "also-nope.txt"), 0.20, "", ""); err == nil {
 		t.Fatal("missing PR file must fail")
+	}
+}
+
+// TestJSONReport pins the artifact format the CI bench job uploads: every
+// gated benchmark with before/after/delta, one-sided benchmarks listed, and
+// failures named — even when the gate fails the run.
+func TestJSONReport(t *testing.T) {
+	dir := t.TempDir()
+	base := write(t, dir, "base.txt", baseOut)
+	pr := write(t, dir, "pr.txt",
+		"BenchmarkOSSPDecision-4 200 90000 ns/op\nBenchmarkOSSPDecisionCached-4 1000 2100 ns/op\nBenchmarkOnlyInPR-4 10 5 ns/op\n")
+	out := filepath.Join(dir, "BENCH_deadbeef.json")
+	err := run(&bytes.Buffer{}, base, pr, 0.20, "", out)
+	if err == nil {
+		t.Fatal("regression must still fail the gate when -json-out is set")
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("JSON report not written despite gate failure: %v", err)
+	}
+	var cmp Comparison
+	if err := json.Unmarshal(blob, &cmp); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, blob)
+	}
+	if len(cmp.Gated) != 2 {
+		t.Fatalf("gated %d benchmarks, want 2: %+v", len(cmp.Gated), cmp)
+	}
+	// Worst regression sorts first and is marked failed.
+	if cmp.Gated[0].Name != "BenchmarkOSSPDecision" || !cmp.Gated[0].Failed {
+		t.Fatalf("sort/verdict wrong: %+v", cmp.Gated)
+	}
+	if cmp.Gated[1].Failed {
+		t.Fatalf("5%% drift marked failed: %+v", cmp.Gated[1])
+	}
+	if len(cmp.Failures) != 1 || cmp.Failures[0] != "BenchmarkOSSPDecision" {
+		t.Fatalf("failures = %v", cmp.Failures)
+	}
+	if len(cmp.BaseOnly) != 1 || cmp.BaseOnly[0] != "BenchmarkOnlyInBase" {
+		t.Fatalf("base-only = %v", cmp.BaseOnly)
+	}
+	if len(cmp.PROnly) != 1 || cmp.PROnly[0] != "BenchmarkOnlyInPR" {
+		t.Fatalf("pr-only = %v", cmp.PROnly)
 	}
 }

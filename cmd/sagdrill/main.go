@@ -1,0 +1,367 @@
+// Command sagdrill is the crash drill for sagserver's durability layer: it
+// proves that kill -9 at an arbitrary point loses nothing the server ever
+// acknowledged, and that the recovered server is bit-identical to one that
+// never crashed.
+//
+// The drill runs the same deterministic request script twice, each against
+// its own sagserver subprocess with its own data dir and a pinned cycle
+// clock:
+//
+//   - the golden run executes the script uninterrupted;
+//   - the crash run is SIGKILLed mid-script (with one request in flight),
+//     restarted on the same data dir, and resumes the script from exactly
+//     the point the recovered /v1/status proves was applied.
+//
+// Both runs then answer /v1/status, /v1/cycle/summary, and /v1/cycle/close.
+// The drill fails unless all three responses match byte for byte, and
+// unless the recovered state accounts for every acknowledged request (the
+// kill may cost at most the single un-acknowledged in-flight request).
+//
+// Usage:
+//
+//	go build -o sagserver ./cmd/sagserver
+//	go run ./cmd/sagdrill -server ./sagserver -seed "$RANDOM"
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"time"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal("sagdrill: ", err)
+	}
+}
+
+// op is one scripted request: an access pair or an employee quitting.
+type op struct {
+	quit     bool
+	employee int
+	patient  int
+}
+
+type status struct {
+	Accesses int64 `json:"accesses"`
+	Quits    int64 `json:"quits"`
+}
+
+// config is the drill's parameter set; main fills it from flags, tests fill
+// it directly.
+type config struct {
+	serverBin string
+	seed      int64
+	requests  int
+	employees int
+	patients  int
+	history   int
+	startWait time.Duration
+}
+
+func run() error {
+	var cfg config
+	flag.StringVar(&cfg.serverBin, "server", "./sagserver", "path to the sagserver binary under test")
+	flag.Int64Var(&cfg.seed, "seed", 1, "drill seed: request script, kill point, and kill timing all derive from it")
+	flag.IntVar(&cfg.requests, "requests", 40, "access requests in the script (plus one quit)")
+	flag.IntVar(&cfg.employees, "employees", 120, "world size passed to the server (first planted pair = employees/patients)")
+	flag.IntVar(&cfg.patients, "patients", 600, "world size passed to the server")
+	flag.IntVar(&cfg.history, "history", 8, "days of simulated history the server fits on (drill speed knob)")
+	flag.DurationVar(&cfg.startWait, "start-wait", 3*time.Minute, "how long to wait for each server boot")
+	flag.Parse()
+	return drillRun(cfg)
+}
+
+func drillRun(cfg config) error {
+	log.Printf("drill seed %d", cfg.seed)
+
+	script := buildScript(cfg.seed, cfg.requests, cfg.employees, cfg.patients)
+	rng := rand.New(rand.NewSource(cfg.seed ^ 0x9d1))
+	kill := 1 + rng.Intn(len(script)-1)
+
+	goldenDir, err := os.MkdirTemp("", "sagdrill-golden-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(goldenDir)
+	crashDir, err := os.MkdirTemp("", "sagdrill-crash-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(crashDir)
+
+	d := &drill{
+		bin:       cfg.serverBin,
+		employees: cfg.employees,
+		patients:  cfg.patients,
+		history:   cfg.history,
+		startWait: cfg.startWait,
+		client:    &http.Client{Timeout: 30 * time.Second},
+	}
+
+	log.Printf("golden run: %d ops, uninterrupted", len(script))
+	golden, err := d.goldenRun(goldenDir, script)
+	if err != nil {
+		return fmt.Errorf("golden run: %w", err)
+	}
+
+	log.Printf("crash run: SIGKILL with op %d/%d in flight", kill, len(script))
+	crashed, err := d.crashRun(crashDir, script, kill, rng.Intn(8))
+	if err != nil {
+		return fmt.Errorf("crash run: %w", err)
+	}
+
+	for _, c := range []struct{ name, want, got string }{
+		{"/v1/status", golden.status, crashed.status},
+		{"/v1/cycle/summary", golden.summary, crashed.summary},
+		{"/v1/cycle/close", golden.close_, crashed.close_},
+	} {
+		if c.want != c.got {
+			return fmt.Errorf("%s diverged after crash recovery:\n golden: %s\ncrashed: %s", c.name, c.want, c.got)
+		}
+		log.Printf("%s: recovered run matches golden run byte for byte", c.name)
+	}
+	fmt.Println("sagdrill: PASS — kill -9 recovery is bit-identical to the uninterrupted run")
+	return nil
+}
+
+// buildScript generates the deterministic op sequence: planted-pair accesses
+// across three alert kinds, ~10% benign accesses, and one mid-script quit of
+// the first planted employee (so later accesses by it take the flagged
+// fast path — a different journal record kind).
+func buildScript(seed int64, n, employees, patients int) []op {
+	// Planted pairs per sagserver's generator: kind k's first pair is
+	// (employees + 120·k, patients + 120·k).
+	const stride = 120
+	rng := rand.New(rand.NewSource(seed ^ 0x5c7))
+	var script []op
+	for i := 0; i < n; i++ {
+		if i == n/2 {
+			script = append(script, op{quit: true, employee: employees})
+		}
+		if rng.Float64() < 0.1 {
+			script = append(script, op{employee: 0, patient: 0})
+			continue
+		}
+		k := rng.Intn(3)
+		script = append(script, op{employee: employees + stride*k, patient: patients + stride*k})
+	}
+	return script
+}
+
+type drill struct {
+	bin       string
+	employees int
+	patients  int
+	history   int
+	startWait time.Duration
+	client    *http.Client
+}
+
+// capture is the durable-state fingerprint of a run.
+type capture struct {
+	status  string
+	summary string
+	close_  string
+}
+
+// start launches one sagserver over dir and waits until it serves.
+func (d *drill) start(dir string, port int) (*exec.Cmd, string, error) {
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+	cmd := exec.Command(d.bin,
+		"-addr", addr,
+		"-data-dir", dir,
+		"-fsync", "always",
+		"-fixed-clock", "9h",
+		"-seed", "2017",
+		"-employees", fmt.Sprint(d.employees),
+		"-patients", fmt.Sprint(d.patients),
+		"-history", fmt.Sprint(d.history),
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, "", err
+	}
+	base := "http://" + addr
+	deadline := time.Now().Add(d.startWait)
+	for {
+		resp, err := d.client.Get(base + "/v1/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return cmd, base, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+			return nil, "", fmt.Errorf("server at %s not ready within %v", addr, d.startWait)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func freePort() (int, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port, nil
+}
+
+// apply sends one op and requires acknowledgement.
+func (d *drill) apply(base string, o op) error {
+	path, body := "/v1/access", fmt.Sprintf(`{"employee_id":%d,"patient_id":%d}`, o.employee, o.patient)
+	if o.quit {
+		path, body = "/v1/quit", fmt.Sprintf(`{"employee_id":%d}`, o.employee)
+	}
+	resp, err := d.client.Post(base+path, "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("%s: status %d: %s", path, resp.StatusCode, raw)
+	}
+	_, err = io.Copy(io.Discard, resp.Body)
+	return err
+}
+
+func (d *drill) get(base, path string) (string, error) {
+	resp, err := d.client.Get(base + path)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("%s: status %d: %s", path, resp.StatusCode, raw)
+	}
+	return string(raw), nil
+}
+
+// fingerprint captures status, summary, and the cycle-close plan.
+func (d *drill) fingerprint(base string) (capture, error) {
+	var c capture
+	var err error
+	if c.status, err = d.get(base, "/v1/status"); err != nil {
+		return c, err
+	}
+	if c.summary, err = d.get(base, "/v1/cycle/summary"); err != nil {
+		return c, err
+	}
+	resp, err := d.client.Post(base+"/v1/cycle/close", "application/json", bytes.NewBufferString("{}"))
+	if err != nil {
+		return c, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return c, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return c, fmt.Errorf("/v1/cycle/close: status %d: %s", resp.StatusCode, raw)
+	}
+	c.close_ = string(raw)
+	return c, nil
+}
+
+func (d *drill) goldenRun(dir string, script []op) (capture, error) {
+	port, err := freePort()
+	if err != nil {
+		return capture{}, err
+	}
+	cmd, base, err := d.start(dir, port)
+	if err != nil {
+		return capture{}, err
+	}
+	defer func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	}()
+	for i, o := range script {
+		if err := d.apply(base, o); err != nil {
+			return capture{}, fmt.Errorf("op %d: %w", i, err)
+		}
+	}
+	return d.fingerprint(base)
+}
+
+func (d *drill) crashRun(dir string, script []op, kill, jitterMS int) (capture, error) {
+	port, err := freePort()
+	if err != nil {
+		return capture{}, err
+	}
+	cmd, base, err := d.start(dir, port)
+	if err != nil {
+		return capture{}, err
+	}
+	for i := 0; i < kill; i++ {
+		if err := d.apply(base, script[i]); err != nil {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+			return capture{}, fmt.Errorf("op %d before kill: %w", i, err)
+		}
+	}
+	// Fire op `kill` and SIGKILL the server while it is (maybe) mid-request:
+	// the op lands iff its journal record hit disk before the kill.
+	inflight := make(chan struct{})
+	go func() {
+		defer close(inflight)
+		_ = d.apply(base, script[kill])
+	}()
+	time.Sleep(time.Duration(jitterMS) * time.Millisecond)
+	if err := cmd.Process.Kill(); err != nil {
+		return capture{}, err
+	}
+	_ = cmd.Wait()
+	<-inflight
+
+	// Restart over the same data dir and ask the recovered state how far
+	// the script got. FsyncAlways means every acknowledged op is durable:
+	// fewer than `kill` applied ops is data loss, more than kill+1 is
+	// corruption. The in-flight op alone may go either way.
+	cmd2, base2, err := d.start(dir, port)
+	if err != nil {
+		return capture{}, fmt.Errorf("restart: %w", err)
+	}
+	defer func() {
+		_ = cmd2.Process.Kill()
+		_ = cmd2.Wait()
+	}()
+	raw, err := d.get(base2, "/v1/status")
+	if err != nil {
+		return capture{}, fmt.Errorf("recovered status: %w", err)
+	}
+	var st status
+	if err := json.Unmarshal([]byte(raw), &st); err != nil {
+		return capture{}, err
+	}
+	applied := int(st.Accesses + st.Quits)
+	if applied < kill || applied > kill+1 {
+		return capture{}, fmt.Errorf("recovered %d applied ops; %d were acknowledged before the kill (durability violated)", applied, kill)
+	}
+	log.Printf("recovered %d/%d ops (in-flight op %s); resuming", applied, len(script),
+		map[bool]string{true: "survived", false: "lost"}[applied == kill+1])
+	for i := applied; i < len(script); i++ {
+		if err := d.apply(base2, script[i]); err != nil {
+			return capture{}, fmt.Errorf("op %d after restart: %w", i, err)
+		}
+	}
+	return d.fingerprint(base2)
+}

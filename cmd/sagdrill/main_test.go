@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestBuildScriptDeterministic(t *testing.T) {
+	a := buildScript(7, 30, 120, 600)
+	b := buildScript(7, 30, 120, 600)
+	if len(a) != len(b) || len(a) != 31 { // 30 accesses + 1 quit
+		t.Fatalf("script lengths %d/%d, want 31", len(a), len(b))
+	}
+	quits := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].quit {
+			quits++
+			if a[i].employee != 120 {
+				t.Fatalf("quit must target the first planted employee: %+v", a[i])
+			}
+			continue
+		}
+		// Accesses are either benign (0,0) or the first planted pair of one
+		// of three kinds: (120+120k, 600+120k).
+		benign := a[i].employee == 0 && a[i].patient == 0
+		planted := a[i].employee%120 == 0 && a[i].employee >= 120 && a[i].employee <= 360 &&
+			a[i].patient == a[i].employee+480
+		if !benign && !planted {
+			t.Fatalf("op %d is neither benign nor a planted pair: %+v", i, a[i])
+		}
+	}
+	if quits != 1 {
+		t.Fatalf("%d quit ops, want 1", quits)
+	}
+	if c := buildScript(8, 30, 120, 600); len(c) == len(a) {
+		same := true
+		for i := range c {
+			if c[i] != a[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical scripts")
+		}
+	}
+}
+
+// TestDrillEndToEnd runs the full drill machinery — golden run, mid-request
+// SIGKILL, recovery, resume — against a real sagserver subprocess over a
+// small world, and requires the recovered fingerprint to match the golden
+// one. This is the same assertion the CI crash-drill job makes, shrunk to
+// test size.
+func TestDrillEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess drill skipped in -short mode")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not in PATH")
+	}
+	bin := filepath.Join(t.TempDir(), "sagserver")
+	build := exec.Command(goBin, "build", "-o", bin, "github.com/auditgames/sag/cmd/sagserver")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building sagserver: %v", err)
+	}
+
+	if err := drillRun(config{
+		serverBin: bin,
+		seed:      3,
+		requests:  14,
+		employees: 60,
+		patients:  300,
+		history:   6,
+		startWait: 2 * time.Minute,
+	}); err != nil {
+		t.Fatalf("drill: %v", err)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"github.com/auditgames/sag/internal/history"
 	"github.com/auditgames/sag/internal/server"
 	"github.com/auditgames/sag/internal/sim"
+	"github.com/auditgames/sag/internal/wal"
 )
 
 func main() {
@@ -63,11 +64,21 @@ func run() error {
 		requestTimeout   = flag.Duration("request-timeout", 10*time.Second, "per-request HTTP timeout (0 disables)")
 		shutdownGrace    = flag.Duration("shutdown-grace", 10*time.Second, "time in-flight requests get to finish on SIGINT/SIGTERM")
 
+		dataDir       = flag.String("data-dir", "", "enable durability: per-tenant write-ahead journals and snapshots live under this directory, and restarts recover the exact engine state")
+		fsyncMode     = flag.String("fsync", "always", "journal durability policy with -data-dir: always (fsync before every ack), interval (group fsync on a timer), none (OS page cache only)")
+		snapshotEvery = flag.Int("snapshot-every", 0, "journal records between automatic per-tenant snapshots with -data-dir (0 = default)")
+		fixedClock    = flag.Duration("fixed-clock", -1, "pin the cycle clock to a fixed offset, e.g. 9h (deterministic runs and crash drills; negative = wall clock)")
+
 		tenants      = flag.Int("tenants", 0, "pre-create tenant-1..tenant-N at startup (others are created on first use)")
 		maxTenants   = flag.Int("max-tenants", 0, "resident tenant cap; requests for new tenants beyond it answer 429 (0 = default)")
 		shardWorkers = flag.Int("shard-workers", 0, "box-wide candidate-LP fan-out bound shared by every tenant's solves (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+
+	fsync, err := wal.ParseFsyncPolicy(*fsyncMode)
+	if err != nil {
+		return err
+	}
 
 	log.Printf("building synthetic world (%d employees, %d patients)...", *employees, *patients)
 	world, err := emr.NewWorld(emr.WorldConfig{Seed: *seed, Employees: *employees, Patients: *patients})
@@ -118,7 +129,7 @@ func run() error {
 	// The instance (and therefore the candidate-LP worker bound) is shared
 	// by every tenant's engine: the flag caps the whole box, not one tenant.
 	inst.SetWorkers(*shardWorkers)
-	srv, err := server.New(server.Config{
+	cfg := server.Config{
 		World:     world,
 		Taxonomy:  taxonomy,
 		TypeIDs:   typeIDs,
@@ -134,9 +145,21 @@ func run() error {
 		DecisionDeadline: *decisionDeadline,
 		RequestTimeout:   *requestTimeout,
 		MaxTenants:       *maxTenants,
-	})
+		DataDir:          *dataDir,
+		Fsync:            fsync,
+		SnapshotEvery:    *snapshotEvery,
+		Logf:             log.Printf,
+	}
+	if *fixedClock >= 0 {
+		at := *fixedClock
+		cfg.Clock = func() time.Duration { return at }
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		return err
+	}
+	if *dataDir != "" {
+		log.Printf("durability on: journals under %s (fsync=%s), recovered tenants restore on first use", *dataDir, fsync)
 	}
 	for i := 1; i <= *tenants; i++ {
 		id := fmt.Sprintf("tenant-%d", i)
@@ -167,8 +190,9 @@ func run() error {
 	fmt.Printf("sagserver listening on %s (budget %g, %d alert types)\n", *addr, *budget, len(typeIDs))
 	fmt.Println("  POST /v1/access {employee_id, patient_id} → {alert, warn, ...}")
 	fmt.Println("  POST /v1/quit {employee_id}")
-	fmt.Println("  POST /v1/cycle/close {} · POST /v1/cycle/new {budget} · GET /v1/status · GET /v1/metrics")
-	fmt.Println("  GET /v1/healthz · GET /v1/readyz")
+	fmt.Println("  POST /v1/cycle/close {} · POST /v1/cycle/new {budget} · GET /v1/cycle/summary")
+	fmt.Println("  GET /v1/status · GET /v1/metrics · GET /v1/healthz · GET /v1/readyz")
+	fmt.Println("  POST /v1/admin/snapshot {tenant?} (with -data-dir)")
 	fmt.Printf("  multi-tenant: route with the %s header or a \"tenant\" body field\n", server.TenantHeader)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -186,6 +210,12 @@ func run() error {
 				s := sums[id]
 				log.Printf("final cycle summary [%s]: %d alerts, %d warnings, %d SAG-engaged, %.3f budget spent",
 					id, s.Alerts, s.Warnings, s.SAGEngaged, s.BudgetSpent)
+			}
+			// With -data-dir this snapshots every tenant and seals the
+			// journals, making SIGTERM indistinguishable from a clean
+			// restart.
+			if err := srv.Close(); err != nil {
+				log.Printf("sealing journals: %v", err)
 			}
 		},
 	})

@@ -235,3 +235,58 @@ func TestCacheHitRate(t *testing.T) {
 		t.Fatalf("hit rate %g, want 0.75", r)
 	}
 }
+
+// TestSetCacheCapacityRebalances: the shard router resizes tenant caches as
+// tenants come and go; SetCacheCapacity must evict LRU-first, clamp the
+// limit to one entry, and be a no-op on an engine without a cache.
+func TestSetCacheCapacityRebalances(t *testing.T) {
+	eng := cachedEngine(t, CacheConfig{Size: 8}, nil, 4)
+	for i := 0; i < 3; i++ {
+		if _, err := eng.Preview(Alert{Type: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := eng.CacheStats().Entries; got != 3 {
+		t.Fatalf("entries = %d, want 3", got)
+	}
+	if ev := eng.SetCacheCapacity(1); ev != 2 {
+		t.Fatalf("shrinking 3 entries to capacity 1 evicted %d, want 2", ev)
+	}
+	// The survivor must be the most recently used state: previewing it again
+	// is a hit, not a re-solve.
+	before := eng.CacheStats().Hits
+	if _, err := eng.Preview(Alert{Type: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if eng.CacheStats().Hits != before+1 {
+		t.Fatal("most recently used entry did not survive the shrink")
+	}
+	eng.SetCacheCapacity(-3)
+	if got := eng.CacheStats().Entries; got != 1 {
+		t.Fatalf("capacity <= 0 must clamp to 1 entry, kept %d", got)
+	}
+	plain := cachedEngine(t, CacheConfig{}, nil, 4)
+	if ev := plain.SetCacheCapacity(4); ev != 0 {
+		t.Fatalf("capacity change on a cache-less engine evicted %d", ev)
+	}
+}
+
+// TestLatestForTypeDegradedLookup: the degraded-mode rung returns the
+// most recently used decision for a type regardless of the budget/rate key,
+// and does not disturb the LRU order or the hit/miss counters.
+func TestLatestForTypeDegradedLookup(t *testing.T) {
+	c := newDecisionCache(CacheConfig{Size: 8})
+	c.put(c.key(1, 10, nil), Decision{Alert: Alert{Type: 1}, BudgetBefore: 10})
+	c.put(c.key(2, 10, nil), Decision{Alert: Alert{Type: 2}, BudgetBefore: 10})
+	c.put(c.key(1, 7, nil), Decision{Alert: Alert{Type: 1}, BudgetBefore: 7})
+	d, ok := c.latestForType(1)
+	if !ok || d.BudgetBefore != 7 {
+		t.Fatalf("latestForType(1) = %+v, %v; want the budget-7 entry", d, ok)
+	}
+	if _, ok := c.latestForType(9); ok {
+		t.Fatal("latestForType invented a decision for an unseen type")
+	}
+	if s := c.stats(); s.Hits != 0 || s.Misses != 0 {
+		t.Fatalf("degraded lookup counted as cache traffic: %+v", s)
+	}
+}

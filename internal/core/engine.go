@@ -145,6 +145,11 @@ type Config struct {
 	// game.SolveOnlineSSECtx). This is the injection seam used by
 	// internal/faultinject and by solver-substitution tests.
 	SSESolve SSESolveFunc
+	// Journal, when non-nil, receives the durable form of every committed
+	// decision, invoked under the budget lock in commit order; the returned
+	// wait (if any) is awaited before ProcessContext returns. See
+	// JournalFunc for the contract. Nil disables journaling.
+	Journal JournalFunc
 }
 
 // Decision records everything the engine did for one alert.
@@ -238,9 +243,11 @@ type Engine struct {
 	deadline  time.Duration
 	degrade   bool
 	sseSolve  SSESolveFunc
+	journal   JournalFunc
 	budget    float64
 	initial   float64
 	cycle     uint64 // epoch, bumped by NewCycle; guarded by mu
+	rngDraws  uint64 // signal-sampling draws consumed; guarded by mu
 	decisions []Decision
 	cache     *decisionCache
 	flight    flightGroup
@@ -306,6 +313,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		deadline: cfg.DecisionDeadline,
 		degrade:  cfg.Fallback,
 		sseSolve: solve,
+		journal:  cfg.Journal,
 		budget:   cfg.Budget,
 		initial:  cfg.Budget,
 		met:      newEngineMetrics(cfg.Metrics, cfg.Policy, cfg.MetricLabels...),
@@ -448,6 +456,7 @@ func (e *Engine) ProcessContext(ctx context.Context, a Alert) (*Decision, error)
 		case PolicyOSSP:
 			warnProb := d.Scheme.WarnProbability()
 			d.Warned = e.rng.Float64() < warnProb
+			e.rngDraws++
 			if d.Warned {
 				d.AuditCharge = d.Scheme.AuditGivenWarn()
 			} else {
@@ -459,12 +468,27 @@ func (e *Engine) ProcessContext(ctx context.Context, a Alert) (*Decision, error)
 		d.BudgetAfter = math.Max(0, e.budget-d.AuditCharge*V)
 		e.budget = d.BudgetAfter
 		e.decisions = append(e.decisions, *d)
+		// Enqueue the journal record while still holding mu, so journal
+		// order is commit order; the group-commit wait runs after unlock.
+		var wait func() error
+		var journalErr error
+		if e.journal != nil {
+			wait, journalErr = e.journal(e.recordLocked(d))
+		}
 		if e.met.enabled {
 			e.met.decision.ObserveSince(t0)
 			e.met.decisions.Inc()
 			e.met.budget.Set(e.budget)
 		}
 		e.mu.Unlock()
+		if journalErr != nil {
+			return nil, fmt.Errorf("core: journaling decision: %w", journalErr)
+		}
+		if wait != nil {
+			if err := wait(); err != nil {
+				return nil, fmt.Errorf("core: journal fsync: %w", err)
+			}
+		}
 		return d, nil
 	}
 }

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/auditgames/sag/internal/game"
+	"github.com/auditgames/sag/internal/payoff"
+)
+
+// stateTestEngine builds a deterministic engine for the durability property
+// tests: random (seeded) instance, time-varying rates so decisions depend
+// on the alert offset, OSSP policy with a seeded RNG.
+func stateTestEngine(t *testing.T, seed int64, journal JournalFunc) (*Engine, int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	numTypes := 2 + rng.Intn(4)
+	pays := make([]payoff.Payoff, numTypes)
+	costs := make([]float64, numTypes)
+	for i := range pays {
+		pays[i] = randomPayoff(rng)
+		costs[i] = 0.5 + rng.Float64()*2.5
+	}
+	inst, err := game.NewInstance(pays, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := make([]float64, numTypes)
+	for i := range base {
+		base[i] = 1 + rng.Float64()*30
+	}
+	// Rates decay over the day, so the decision pipeline sees a different
+	// game at each alert offset — the snapshot must preserve exactly where
+	// the budget chain and the RNG stream stand.
+	est := EstimatorFunc(func(at time.Duration) ([]float64, error) {
+		frac := 1 - float64(at)/float64(24*time.Hour)
+		out := make([]float64, len(base))
+		for i, b := range base {
+			out[i] = b * frac
+		}
+		return out, nil
+	})
+	eng, err := NewEngine(Config{
+		Instance:  inst,
+		Budget:    5 + rng.Float64()*40,
+		Estimator: est,
+		Policy:    PolicyOSSP,
+		Rand:      rand.New(rand.NewSource(seed ^ 0x77)),
+		Journal:   journal,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, numTypes
+}
+
+// decisionsEqual compares two decision slices on every durable field.
+func decisionsEqual(a, b []Decision) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("decision counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if x.Alert != y.Alert || x.Warned != y.Warned || x.Vacuous != y.Vacuous ||
+			x.AppliedSAG != y.AppliedSAG || x.Fallback != y.Fallback {
+			return fmt.Errorf("decision %d flags differ: %+v vs %+v", i, x, y)
+		}
+		for _, p := range [][2]float64{
+			{x.Theta, y.Theta}, {x.AuditCharge, y.AuditCharge},
+			{x.BudgetBefore, y.BudgetBefore}, {x.BudgetAfter, y.BudgetAfter},
+			{x.SSEUtility, y.SSEUtility}, {x.OSSPUtility, y.OSSPUtility},
+		} {
+			if math.Float64bits(p[0]) != math.Float64bits(p[1]) {
+				return fmt.Errorf("decision %d floats differ: %+v vs %+v", i, x, y)
+			}
+		}
+	}
+	return nil
+}
+
+// TestPropertySnapshotReplayEqualsPureReplay is the recovery-correctness
+// property behind the WAL: for random alert sequences, crash points, and
+// snapshot points, restoring a snapshot and replaying the journaled tail,
+// then continuing live, must be bit-identical — decisions, budget chain,
+// RNG stream, summary, and the end-of-cycle audit plan — to the engine that
+// never crashed.
+func TestPropertySnapshotReplayEqualsPureReplay(t *testing.T) {
+	root := rand.New(rand.NewSource(20260808))
+	for trial := 0; trial < 20; trial++ {
+		seed := root.Int63()
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed ^ 0x1ce))
+
+			// Golden run: process the whole sequence uninterrupted, capturing
+			// the journal the WAL would have recorded.
+			var journal []DecisionRecord
+			golden, numTypes := stateTestEngine(t, seed, func(rec DecisionRecord) (func() error, error) {
+				journal = append(journal, rec)
+				return nil, nil
+			})
+			const n = 24
+			alerts := make([]Alert, n)
+			for i := range alerts {
+				alerts[i] = Alert{
+					Type: rng.Intn(numTypes),
+					Time: time.Duration(i) * 37 * time.Minute,
+				}
+			}
+			for _, a := range alerts {
+				if _, err := golden.Process(a); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// Crash at k having snapshotted at s ≤ k: the recovering engine
+			// restores the snapshot taken after alert s, replays journal
+			// records s..k, then serves alerts k..n live.
+			k := 1 + rng.Intn(n-1)
+			s := rng.Intn(k + 1)
+
+			shadow, _ := stateTestEngine(t, seed, nil)
+			for _, a := range alerts[:s] {
+				if _, err := shadow.Process(a); err != nil {
+					t.Fatal(err)
+				}
+			}
+			snap := shadow.ExportState()
+
+			var replayJournal []DecisionRecord
+			recovered, _ := stateTestEngine(t, seed, func(rec DecisionRecord) (func() error, error) {
+				replayJournal = append(replayJournal, rec)
+				return nil, nil
+			})
+			if err := recovered.RestoreState(snap); err != nil {
+				t.Fatal(err)
+			}
+			for _, rec := range journal[s:k] {
+				if err := recovered.ApplyDecision(rec); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, a := range alerts[k:] {
+				if _, err := recovered.Process(a); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// Bit-identical state.
+			if err := decisionsEqual(golden.Decisions(), recovered.Decisions()); err != nil {
+				t.Fatalf("crash at %d, snapshot at %d: %v", k, s, err)
+			}
+			if g, r := golden.RemainingBudget(), recovered.RemainingBudget(); math.Float64bits(g) != math.Float64bits(r) {
+				t.Fatalf("budgets differ: %v vs %v", g, r)
+			}
+			if g, r := golden.RNGDraws(), recovered.RNGDraws(); g != r {
+				t.Fatalf("rng draws differ: %d vs %d", g, r)
+			}
+			if g, r := golden.Summary(), recovered.Summary(); g != r {
+				t.Fatalf("summaries differ:\n%+v\n%+v", g, r)
+			}
+			// The live decisions the recovered engine committed after the
+			// crash must journal the same records the golden run did.
+			for i, rec := range replayJournal {
+				if rec != journal[k+i] {
+					t.Fatalf("post-recovery journal diverged at %d: %+v vs %+v", i, rec, journal[k+i])
+				}
+			}
+			// Same audit plan at cycle close.
+			crng := rand.New(rand.NewSource(seed ^ 0xabc))
+			gAudits, gTotal := golden.CloseCycle(crng)
+			crng = rand.New(rand.NewSource(seed ^ 0xabc))
+			rAudits, rTotal := recovered.CloseCycle(crng)
+			if gTotal != rTotal || len(gAudits) != len(rAudits) {
+				t.Fatalf("audit plans differ: total %v vs %v", gTotal, rTotal)
+			}
+			for i := range gAudits {
+				if gAudits[i] != rAudits[i] {
+					t.Fatalf("audit outcome %d differs: %+v vs %+v", i, gAudits[i], rAudits[i])
+				}
+			}
+		})
+	}
+}
+
+// TestRestoreStateRequiresFreshEngine pins the restore contract: restoring
+// onto an engine that has already drawn from its RNG or committed decisions
+// must fail rather than silently merge two histories.
+func TestRestoreStateRequiresFreshEngine(t *testing.T) {
+	eng, numTypes := stateTestEngine(t, 42, nil)
+	if _, err := eng.Process(Alert{Type: numTypes - 1, Time: time.Minute}); err != nil {
+		t.Fatal(err)
+	}
+	snap := eng.ExportState()
+	if err := eng.RestoreState(snap); err == nil {
+		t.Fatal("RestoreState succeeded on a used engine")
+	}
+	fresh, _ := stateTestEngine(t, 42, nil)
+	if err := fresh.RestoreState(snap); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.RNGDraws() != 1 || len(fresh.Decisions()) != 1 {
+		t.Fatalf("restored draws=%d decisions=%d", fresh.RNGDraws(), len(fresh.Decisions()))
+	}
+}
+
+// TestApplyDecisionOrderEnforced pins that replay rejects out-of-order and
+// out-of-range records instead of corrupting the budget chain.
+func TestApplyDecisionOrderEnforced(t *testing.T) {
+	eng, numTypes := stateTestEngine(t, 7, nil)
+	if err := eng.ApplyDecision(DecisionRecord{Seq: 3, Type: 0}); err == nil {
+		t.Fatal("accepted out-of-order record")
+	}
+	if err := eng.ApplyDecision(DecisionRecord{Seq: 0, Type: numTypes}); err == nil {
+		t.Fatal("accepted out-of-range type")
+	}
+	if err := eng.ApplyDecision(DecisionRecord{Seq: 0, Type: 0, BudgetAfter: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.RemainingBudget(); got != 3 {
+		t.Fatalf("budget after replay = %v", got)
+	}
+}
+
+// TestJournalHookOrderAndDurabilityWait pins the hook contract: records
+// arrive in commit order with contiguous sequence numbers, and Process does
+// not return before the hook's wait has run.
+func TestJournalHookOrderAndDurabilityWait(t *testing.T) {
+	var recs []DecisionRecord
+	waited := 0
+	eng, numTypes := stateTestEngine(t, 99, func(rec DecisionRecord) (func() error, error) {
+		recs = append(recs, rec)
+		return func() error { waited++; return nil }, nil
+	})
+	for i := 0; i < 5; i++ {
+		if _, err := eng.Process(Alert{Type: i % numTypes, Time: time.Duration(i) * time.Hour}); err != nil {
+			t.Fatal(err)
+		}
+		if waited != i+1 {
+			t.Fatalf("Process returned before the journal wait ran (%d/%d)", waited, i+1)
+		}
+	}
+	for i, rec := range recs {
+		if rec.Seq != uint64(i) {
+			t.Fatalf("journal seq %d at position %d", rec.Seq, i)
+		}
+	}
+}
+
+// TestJournalWaitErrorSurfaces pins that a failed durability wait becomes a
+// Process error (the caller must not acknowledge an unjournaled decision).
+func TestJournalWaitErrorSurfaces(t *testing.T) {
+	eng, _ := stateTestEngine(t, 123, func(rec DecisionRecord) (func() error, error) {
+		return func() error { return fmt.Errorf("disk full") }, nil
+	})
+	if _, err := eng.Process(Alert{Type: 0, Time: time.Minute}); err == nil {
+		t.Fatal("Process swallowed the journal error")
+	}
+}

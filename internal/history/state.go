@@ -1,0 +1,57 @@
+package history
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// rollbackState is the durable form of the per-cycle rollback memory shared
+// by Rollback and RateRollback: the last healthy query time and whether one
+// has been seen this cycle. The curves themselves are fit from history and
+// rebuilt at boot, so they are not part of the snapshot.
+type rollbackState struct {
+	LastGood time.Duration `json:"last_good"`
+	SeenGood bool          `json:"seen_good"`
+}
+
+// MarshalState exports the estimator's per-cycle state for inclusion in an
+// engine snapshot. It implements the optional interface the durable server
+// probes for (see server durability docs).
+func (r *Rollback) MarshalState() ([]byte, error) {
+	return json.Marshal(rollbackState{LastGood: r.lastGood, SeenGood: r.seenGood})
+}
+
+// UnmarshalState restores per-cycle state exported by MarshalState.
+func (r *Rollback) UnmarshalState(b []byte) error {
+	var st rollbackState
+	if err := json.Unmarshal(b, &st); err != nil {
+		return fmt.Errorf("history: restoring rollback state: %w", err)
+	}
+	if st.LastGood < 0 {
+		return fmt.Errorf("history: restoring negative last-good time %v", st.LastGood)
+	}
+	r.lastGood = st.LastGood
+	r.seenGood = st.SeenGood
+	return nil
+}
+
+// MarshalState exports the estimator's per-cycle state; see
+// Rollback.MarshalState.
+func (r *RateRollback) MarshalState() ([]byte, error) {
+	return json.Marshal(rollbackState{LastGood: r.lastGood, SeenGood: r.seenGood})
+}
+
+// UnmarshalState restores per-cycle state exported by MarshalState.
+func (r *RateRollback) UnmarshalState(b []byte) error {
+	var st rollbackState
+	if err := json.Unmarshal(b, &st); err != nil {
+		return fmt.Errorf("history: restoring rate-rollback state: %w", err)
+	}
+	if st.LastGood < 0 {
+		return fmt.Errorf("history: restoring negative last-good time %v", st.LastGood)
+	}
+	r.lastGood = st.LastGood
+	r.seenGood = st.SeenGood
+	return nil
+}

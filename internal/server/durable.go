@@ -1,0 +1,421 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/auditgames/sag/internal/core"
+	"github.com/auditgames/sag/internal/obs"
+	"github.com/auditgames/sag/internal/shard"
+	"github.com/auditgames/sag/internal/wal"
+)
+
+// MetricRecoveryReplayed gauges, per tenant, how many journal records boot
+// recovery replayed on top of the restored snapshot.
+const MetricRecoveryReplayed = "sag_recovery_replayed_records"
+
+// DefaultSnapshotEvery is the automatic snapshot cadence (journal records
+// between snapshots) when Config.SnapshotEvery is zero.
+const DefaultSnapshotEvery = 4096
+
+// estimator state snapshot seams: stateful estimators (the knowledge-
+// rollback history estimator) opt in by implementing both; stateless ones
+// need neither.
+type stateMarshaler interface{ MarshalState() ([]byte, error) }
+type stateUnmarshaler interface{ UnmarshalState([]byte) error }
+
+// tenantSnapshot is the owner-encoded payload of a WAL snapshot record: the
+// engine's full cycle state plus the HTTP layer's per-tenant state. JSON is
+// used deliberately — Go's encoder round-trips float64 exactly — and the
+// blob never crosses a version boundary unvalidated (decode errors fail
+// recovery loudly rather than restoring a half-right tenant).
+type tenantSnapshot struct {
+	Engine    core.EngineState `json:"engine"`
+	Estimator []byte           `json:"estimator,omitempty"`
+	Accesses  int64            `json:"accesses"`
+	Alerts    int64            `json:"alerts"`
+	Warned    int64            `json:"warned"`
+	Quits     int64            `json:"quits"`
+	Flagged   []int            `json:"flagged,omitempty"`
+	Closed    bool             `json:"closed"`
+}
+
+// durable reports whether the server was configured with a data directory.
+func (s *Server) durable() bool { return s.cfg.DataDir != "" }
+
+// tenantWALDir maps a tenant ID to its journal directory. The "t-" prefix
+// is load-bearing: shard.ValidID admits IDs like ".." and "." (dots are
+// legal ID characters), so raw IDs must never become path components.
+func (s *Server) tenantWALDir(id string) string {
+	return filepath.Join(s.cfg.DataDir, "tenants", "t-"+id)
+}
+
+// tenantOnDisk reports whether id has journal state under the data dir, so
+// tenant resolution can distinguish "unloaded" from "unknown".
+func (s *Server) tenantOnDisk(id string) bool {
+	info, err := os.Stat(s.tenantWALDir(id))
+	return err == nil && info.IsDir()
+}
+
+// openTenantJournal opens (and recovers) one tenant's journal and replays
+// the recovered state onto t. Called from buildTenant after the engine is
+// constructed but before the tenant serves its first request.
+func (s *Server) openTenantJournal(t *tenantState) error {
+	j, rec, err := wal.Open(s.tenantWALDir(t.id), wal.Options{
+		Fsync:   s.cfg.Fsync,
+		Metrics: s.met.reg,
+		Labels:  []obs.Label{obs.L("tenant", t.id)},
+	})
+	if err != nil {
+		return fmt.Errorf("server: opening journal for tenant %q: %w", t.id, err)
+	}
+	if rec.Truncated {
+		s.logf("server: tenant %s: truncated corrupt journal tail of %s at offset %d",
+			t.id, rec.TruncatedSegment, rec.TruncatedOffset)
+	}
+	if err := s.replayTenant(t, rec); err != nil {
+		_ = j.Close()
+		return fmt.Errorf("server: recovering tenant %q: %w", t.id, err)
+	}
+	t.journal = j
+	replayed := len(rec.Tail)
+	s.met.reg.Gauge(MetricRecoveryReplayed,
+		"Journal records replayed on top of the restored snapshot at boot.",
+		obs.L("tenant", t.id)).Set(float64(replayed))
+	if rec.Snapshot != nil || replayed > 0 {
+		s.logf("server: tenant %s: recovered snapshot=%dB + %d replayed records (%d segments scanned)",
+			t.id, len(rec.Snapshot), replayed, rec.Segments)
+	}
+	return nil
+}
+
+// replayTenant restores t from a journal recovery: first the snapshot (if
+// any), then the tail records in journal order. Exactly one record was
+// written per acknowledged request, so replay applies each record's full
+// counter delta and never double-applies a half-recorded request.
+func (s *Server) replayTenant(t *tenantState, rec *wal.Recovery) error {
+	if rec.Snapshot != nil {
+		var snap tenantSnapshot
+		if err := json.Unmarshal(rec.Snapshot, &snap); err != nil {
+			return fmt.Errorf("decoding snapshot: %w", err)
+		}
+		if snap.Estimator != nil {
+			u, ok := t.est.(stateUnmarshaler)
+			if !ok {
+				return errors.New("snapshot carries estimator state but the estimator cannot restore it")
+			}
+			if err := u.UnmarshalState(snap.Estimator); err != nil {
+				return err
+			}
+		}
+		if err := t.engine.RestoreState(snap.Engine); err != nil {
+			return err
+		}
+		t.accesses.Store(snap.Accesses)
+		t.alerts.Store(snap.Alerts)
+		t.warned.Store(snap.Warned)
+		t.quits.Store(snap.Quits)
+		for _, emp := range snap.Flagged {
+			t.flagged[emp] = true
+		}
+		t.closed = snap.Closed
+	}
+	for _, r := range rec.Tail {
+		switch r.Kind {
+		case wal.KindDecision:
+			// A decision record is one full acknowledged /v1/access request
+			// of a gamed alert: one access, one alert, and the engine's
+			// committed decision (recorded signal, recorded budget chain).
+			if err := t.engine.ApplyDecision(r.Decision); err != nil {
+				return err
+			}
+			t.accesses.Add(1)
+			t.alerts.Add(1)
+			if r.Decision.Warned {
+				t.warned.Add(1)
+			}
+		case wal.KindMeta:
+			// One acknowledged request that bypassed the engine.
+			t.accesses.Add(1)
+			if r.Meta.Alerted {
+				t.alerts.Add(1)
+			}
+			if r.Meta.Warned {
+				t.warned.Add(1)
+			}
+		case wal.KindQuit:
+			if !t.flagged[r.Employee] {
+				t.flagged[r.Employee] = true
+				t.quits.Add(1)
+			}
+		case wal.KindCycleOpen:
+			if err := t.engine.NewCycle(r.Budget); err != nil {
+				return err
+			}
+			t.closed = false
+			t.accesses.Store(0)
+			t.alerts.Store(0)
+			t.warned.Store(0)
+			t.quits.Store(0)
+		case wal.KindCycleClose:
+			t.closed = true
+		default:
+			return fmt.Errorf("unknown journal record kind %v", r.Kind)
+		}
+	}
+	t.met.flagged.Set(float64(len(t.flagged)))
+	return nil
+}
+
+// noteAppend accounts one journaled record toward the automatic snapshot
+// cadence, kicking a background snapshot when the cadence is reached. Safe
+// to call from the engine's journal hook (it only touches atomics and at
+// most spawns one goroutine).
+func (s *Server) noteAppend(t *tenantState) {
+	every := s.cfg.SnapshotEvery
+	if every <= 0 {
+		every = DefaultSnapshotEvery
+	}
+	if t.walRecords.Add(1) < int64(every) {
+		return
+	}
+	if !t.snapshotting.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer t.snapshotting.Store(false)
+		if err := s.snapshotTenant(t); err != nil {
+			s.logf("server: tenant %s: background snapshot: %v", t.id, err)
+		}
+	}()
+}
+
+// journalRecord appends one record for an acknowledged request and waits
+// for it to reach the journal's durability level, answering the 500 itself
+// on failure. Handlers call it on every state-changing path that bypasses
+// the engine (the engine's own commits journal through the hook). Returns
+// false when the response has already been written.
+func (s *Server) journalRecord(w http.ResponseWriter, t *tenantState, r wal.Record) bool {
+	if t.journal == nil {
+		return true
+	}
+	wait, err := t.journal.Append(r)
+	if err == nil && wait != nil {
+		err = wait()
+	}
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: "journal: " + err.Error()})
+		return false
+	}
+	s.noteAppend(t)
+	return true
+}
+
+// exportTenant encodes t's full state. The caller holds t.lifecycle
+// exclusively, so no decision is mid-commit and the engine export, the
+// counters, and the journal position are mutually consistent.
+func (s *Server) exportTenant(t *tenantState) ([]byte, error) {
+	snap := tenantSnapshot{
+		Engine:   t.engine.ExportState(),
+		Accesses: t.accesses.Load(),
+		Alerts:   t.alerts.Load(),
+		Warned:   t.warned.Load(),
+		Quits:    t.quits.Load(),
+		Closed:   t.closed,
+	}
+	if m, ok := t.est.(stateMarshaler); ok {
+		blob, err := m.MarshalState()
+		if err != nil {
+			return nil, fmt.Errorf("estimator state: %w", err)
+		}
+		snap.Estimator = blob
+	}
+	t.flaggedMu.RLock()
+	for emp := range t.flagged {
+		snap.Flagged = append(snap.Flagged, emp)
+	}
+	t.flaggedMu.RUnlock()
+	sort.Ints(snap.Flagged)
+	return json.Marshal(snap)
+}
+
+// snapshotTenant writes one tenant's full state as a journal snapshot
+// record, fsyncs it, and prunes superseded segments. It takes the tenant's
+// lifecycle write lock, so it drains in-flight decisions first — the
+// snapshot can never miss a decision that was journaled before it.
+func (s *Server) snapshotTenant(t *tenantState) error {
+	if t.journal == nil {
+		return errors.New("server: tenant has no journal")
+	}
+	s.lockLifecycleW(t)
+	defer t.lifecycle.Unlock()
+	return s.snapshotTenantLocked(t)
+}
+
+// snapshotTenantLocked is snapshotTenant for callers already holding the
+// tenant's lifecycle write lock.
+func (s *Server) snapshotTenantLocked(t *tenantState) error {
+	blob, err := s.exportTenant(t)
+	if err != nil {
+		return err
+	}
+	if err := t.journal.Snapshot(blob); err != nil {
+		return err
+	}
+	t.walRecords.Store(0)
+	return nil
+}
+
+// SnapshotAll snapshots every resident tenant's state to its journal. The
+// graceful-shutdown drain and the /v1/admin/snapshot endpoint call it; a
+// no-op (nil) when durability is disabled. The first error is returned but
+// every tenant is attempted.
+func (s *Server) SnapshotAll() error {
+	if !s.durable() {
+		return nil
+	}
+	var first error
+	s.router.Range(func(tn *shard.Tenant) bool {
+		t := tn.Data.(*tenantState)
+		if t.journal == nil {
+			return true
+		}
+		if err := s.snapshotTenant(t); err != nil {
+			s.logf("server: tenant %s: snapshot: %v", t.id, err)
+			if first == nil {
+				first = err
+			}
+		}
+		return true
+	})
+	return first
+}
+
+// Close seals every tenant journal (snapshotting each first). Call it after
+// the HTTP listener has stopped; it is what makes SIGTERM indistinguishable
+// from a clean restart.
+func (s *Server) Close() error {
+	if !s.durable() {
+		return nil
+	}
+	err := s.SnapshotAll()
+	s.router.Range(func(tn *shard.Tenant) bool {
+		t := tn.Data.(*tenantState)
+		if t.journal != nil {
+			if cerr := t.journal.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+		return true
+	})
+	return err
+}
+
+// RemoveTenant evicts a resident tenant. With durability on, the shard
+// router's OnEvict hook snapshots the tenant and seals its journal first,
+// so the eviction is an unload — a later request for the ID rebuilds the
+// tenant from its journal. Reports whether the tenant was resident.
+func (s *Server) RemoveTenant(id string) bool {
+	return s.router.Remove(id)
+}
+
+// evictTenant is the shard.Config.OnEvict hook: drain, snapshot, seal. It
+// runs under the router's creation lock with the tenant already unlinked,
+// so no new request can reach it; the lifecycle write lock drains the ones
+// already holding it.
+func (s *Server) evictTenant(tn *shard.Tenant) {
+	t := tn.Data.(*tenantState)
+	if t.journal == nil {
+		return
+	}
+	if err := s.snapshotTenant(t); err != nil {
+		s.logf("server: tenant %s: eviction snapshot: %v", t.id, err)
+	}
+	if err := t.journal.Close(); err != nil {
+		s.logf("server: tenant %s: sealing journal: %v", t.id, err)
+	}
+}
+
+// SnapshotRequest is the body of POST /v1/admin/snapshot. An empty tenant
+// snapshots every resident tenant.
+type SnapshotRequest struct {
+	Tenant string `json:"tenant,omitempty"`
+}
+
+// SnapshotResponse reports what /v1/admin/snapshot persisted.
+type SnapshotResponse struct {
+	Tenants int `json:"tenants"`
+}
+
+// handleSnapshot is POST /v1/admin/snapshot: force a snapshot of one tenant
+// (or all, when none is named) so an operator can bound replay length
+// before a planned restart. 400 when the server runs without a data dir.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if !s.durable() {
+		writeJSON(w, http.StatusBadRequest,
+			apiError{Error: "durability is disabled (server started without a data dir)"})
+		return
+	}
+	var req SnapshotRequest
+	_ = json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody)).Decode(&req)
+	id := req.Tenant
+	if h := r.Header.Get(TenantHeader); h != "" {
+		id = h
+	}
+	if id == "" {
+		n := 0
+		var first error
+		s.router.Range(func(tn *shard.Tenant) bool {
+			t := tn.Data.(*tenantState)
+			if t.journal == nil {
+				return true
+			}
+			if err := s.snapshotTenant(t); err != nil {
+				if first == nil {
+					first = err
+				}
+				return true
+			}
+			n++
+			return true
+		})
+		if first != nil {
+			writeJSON(w, http.StatusInternalServerError, apiError{Error: first.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, SnapshotResponse{Tenants: n})
+		return
+	}
+	t := s.resolveTenant(w, id, false)
+	if t == nil {
+		return
+	}
+	if err := s.snapshotTenant(t); err != nil {
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, SnapshotResponse{Tenants: 1})
+}
+
+// handleCycleSummary is GET /v1/cycle/summary: the tenant's aggregate view
+// of the current cycle — the same summary the drain path logs — so restart
+// drills can compare recovered state against a golden run byte for byte.
+func (s *Server) handleCycleSummary(w http.ResponseWriter, r *http.Request) {
+	t := s.resolveTenant(w, s.tenantID(r, r.URL.Query().Get("tenant")), false)
+	if t == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, t.engine.Summary())
+}
+
+// logf writes a server log line via Config.Logf; silent when unset.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}

@@ -1,0 +1,457 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/auditgames/sag/internal/alerts"
+	"github.com/auditgames/sag/internal/core"
+	"github.com/auditgames/sag/internal/emr"
+	"github.com/auditgames/sag/internal/sim"
+	"github.com/auditgames/sag/internal/wal"
+)
+
+// logBuf collects Logf lines from the server under test (background
+// snapshots may log concurrently with the test goroutine).
+type logBuf struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (l *logBuf) logf(format string, args ...any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.lines = append(l.lines, fmt.Sprintf(format, args...))
+}
+
+func (l *logBuf) contains(sub string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, ln := range l.lines {
+		if strings.Contains(ln, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// durableFixture is fixture with durability on: same world, same seeds, but
+// every tenant journals to dir. Building a second fixture over the same dir
+// models a process restart.
+func durableFixture(t *testing.T, dir string, logs *logBuf) (*Server, *httptest.Server, int, int) {
+	t.Helper()
+	world, err := emr.NewWorld(emr.WorldConfig{Seed: 5, Employees: 30, Patients: 100, Departments: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bgE, bgP := world.NumEmployees(), world.NumPatients()
+	if _, err := emr.NewGenerator(world, emr.GeneratorConfig{Seed: 5, PairsPerKind: 3, BackgroundPerDay: 1}); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := sim.Table1Instance(sim.AllTable1TypeIDs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		World:    world,
+		Taxonomy: alerts.NewTable1Taxonomy(),
+		TypeIDs:  sim.AllTable1TypeIDs(),
+		Instance: inst,
+		Budget:   50,
+		Estimator: core.EstimatorFunc(func(time.Duration) ([]float64, error) {
+			return []float64{196.57, 29.02, 140.46, 10.84, 25.43, 15.14, 43.27}, nil
+		}),
+		Seed:    1,
+		Clock:   func() time.Duration { return 9 * time.Hour },
+		DataDir: dir,
+		Fsync:   wal.FsyncAlways,
+	}
+	if logs != nil {
+		cfg.Logf = logs.logf
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts, bgE, bgP
+}
+
+// getRaw fetches a path and returns the raw body for byte-level comparison.
+func getRaw(t *testing.T, ts *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(raw)
+}
+
+// TestDurableCleanRestartRestoresState drives traffic through the whole API
+// surface, shuts the server down cleanly, boots a second server over the
+// same data dir, and requires the recovered /v1/status and /v1/cycle/summary
+// to match the pre-shutdown ones byte for byte.
+func TestDurableCleanRestartRestoresState(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts, bgE, bgP := durableFixture(t, dir, nil)
+	for i := 0; i < 15; i++ {
+		if code := post(t, ts, "/v1/access", AccessRequest{EmployeeID: bgE, PatientID: bgP}, nil); code != http.StatusOK {
+			t.Fatalf("access status %d", code)
+		}
+	}
+	post(t, ts, "/v1/access", AccessRequest{EmployeeID: 0, PatientID: 0}, nil) // benign
+	if code := post(t, ts, "/v1/quit", QuitRequest{EmployeeID: bgE + 1}, nil); code != http.StatusOK {
+		t.Fatalf("quit status %d", code)
+	}
+	_, wantStatus := getRaw(t, ts, "/v1/status")
+	_, wantSummary := getRaw(t, ts, "/v1/cycle/summary")
+	if err := srv.Close(); err != nil {
+		t.Fatalf("clean shutdown: %v", err)
+	}
+
+	logs := &logBuf{}
+	_, ts2, _, _ := durableFixture(t, dir, logs)
+	if code, got := getRaw(t, ts2, "/v1/status"); code != http.StatusOK || got != wantStatus {
+		t.Fatalf("recovered status diverged:\n got %s\nwant %s", got, wantStatus)
+	}
+	if _, got := getRaw(t, ts2, "/v1/cycle/summary"); got != wantSummary {
+		t.Fatalf("recovered summary diverged:\n got %s\nwant %s", got, wantSummary)
+	}
+	if !logs.contains("recovered snapshot") {
+		t.Fatalf("no recovery banner logged: %v", logs.lines)
+	}
+	// The recovered tenant keeps serving: budget keeps descending from the
+	// recovered point, and the flag set survived.
+	var before, after Status
+	get(t, ts2, "/v1/status", &before)
+	if before.FlaggedUsers != 1 || before.Quits != 1 {
+		t.Fatalf("flag set lost in recovery: %+v", before)
+	}
+	for i := 0; i < 5; i++ {
+		post(t, ts2, "/v1/access", AccessRequest{EmployeeID: bgE, PatientID: bgP}, nil)
+	}
+	get(t, ts2, "/v1/status", &after)
+	if after.Accesses != before.Accesses+5 || after.RemainingBudget > before.RemainingBudget {
+		t.Fatalf("recovered tenant not live: before %+v after %+v", before, after)
+	}
+}
+
+// TestDurableCrashRestartReplaysJournal models kill -9: the first server is
+// abandoned without Close (no shutdown snapshot), so the second boot must
+// rebuild the tenant purely by replaying decision records — and end up in
+// the identical state.
+func TestDurableCrashRestartReplaysJournal(t *testing.T) {
+	dir := t.TempDir()
+	_, ts, bgE, bgP := durableFixture(t, dir, nil)
+	var last AccessResponse
+	for i := 0; i < 12; i++ {
+		post(t, ts, "/v1/access", AccessRequest{EmployeeID: bgE, PatientID: bgP}, &last)
+	}
+	post(t, ts, "/v1/quit", QuitRequest{EmployeeID: bgE}, nil)
+	_, wantStatus := getRaw(t, ts, "/v1/status")
+	_, wantSummary := getRaw(t, ts, "/v1/cycle/summary")
+	// No Close: every acknowledged request was fsynced (FsyncAlways), and
+	// nothing else is durable.
+
+	logs := &logBuf{}
+	_, ts2, _, _ := durableFixture(t, dir, logs)
+	if _, got := getRaw(t, ts2, "/v1/status"); got != wantStatus {
+		t.Fatalf("replayed status diverged:\n got %s\nwant %s", got, wantStatus)
+	}
+	if _, got := getRaw(t, ts2, "/v1/cycle/summary"); got != wantSummary {
+		t.Fatalf("replayed summary diverged:\n got %s\nwant %s", got, wantSummary)
+	}
+	// A flagged employee keeps being flagged on the recovered server.
+	var resp AccessResponse
+	post(t, ts2, "/v1/access", AccessRequest{EmployeeID: bgE, PatientID: bgP}, &resp)
+	if !resp.Flagged || !resp.Warn {
+		t.Fatalf("flag lost across crash: %+v", resp)
+	}
+}
+
+// TestDurableCycleLifecycleSurvivesCrash closes a cycle, opens a new one,
+// adds traffic, crashes, and checks the recovered tenant is mid-way through
+// the NEW cycle — not the old one.
+func TestDurableCycleLifecycleSurvivesCrash(t *testing.T) {
+	dir := t.TempDir()
+	_, ts, bgE, bgP := durableFixture(t, dir, nil)
+	for i := 0; i < 8; i++ {
+		post(t, ts, "/v1/access", AccessRequest{EmployeeID: bgE, PatientID: bgP}, nil)
+	}
+	if code := post(t, ts, "/v1/cycle/close", struct{}{}, nil); code != http.StatusOK {
+		t.Fatalf("close status %d", code)
+	}
+	if code := post(t, ts, "/v1/cycle/new", NewCycleRequest{Budget: 30}, nil); code != http.StatusOK {
+		t.Fatalf("new cycle status %d", code)
+	}
+	for i := 0; i < 3; i++ {
+		post(t, ts, "/v1/access", AccessRequest{EmployeeID: bgE, PatientID: bgP}, nil)
+	}
+	_, wantStatus := getRaw(t, ts, "/v1/status")
+
+	_, ts2, _, _ := durableFixture(t, dir, nil)
+	var st Status
+	if _, got := getRaw(t, ts2, "/v1/status"); got != wantStatus {
+		t.Fatalf("recovered status diverged:\n got %s\nwant %s", got, wantStatus)
+	}
+	get(t, ts2, "/v1/status", &st)
+	if st.Budget != 30 || st.Accesses != 3 {
+		t.Fatalf("recovered into the wrong cycle: %+v", st)
+	}
+	// The closed-cycle marker must not have leaked into the new cycle: the
+	// recovered server accepts a close of the new cycle.
+	var closed CloseResponse
+	if code := post(t, ts2, "/v1/cycle/close", struct{}{}, &closed); code != http.StatusOK {
+		t.Fatalf("close after recovery status %d", code)
+	}
+	if len(closed.Audits) != 3 {
+		t.Fatalf("close after recovery covers %d alerts, want 3", len(closed.Audits))
+	}
+}
+
+// TestDurableTornTailBootsWithTruncation cuts bytes off the journal tail
+// (the torn final write of a crash) and requires the next boot to truncate,
+// log the offset, and serve the surviving prefix.
+func TestDurableTornTailBootsWithTruncation(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts, bgE, bgP := durableFixture(t, dir, nil)
+	for i := 0; i < 6; i++ {
+		post(t, ts, "/v1/access", AccessRequest{EmployeeID: bgE, PatientID: bgP}, nil)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the shutdown snapshot record off the sealed segment: recovery
+	// must fall back to replaying the six decision records before it.
+	tdir := filepath.Join(dir, "tenants", "t-"+DefaultTenantID)
+	segs, err := filepath.Glob(filepath.Join(tdir, "wal-*.sagw"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments in %s: %v", tdir, err)
+	}
+	last := segs[len(segs)-1]
+	info, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(last, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	logs := &logBuf{}
+	_, ts2, _, _ := durableFixture(t, dir, logs)
+	if !logs.contains("truncated corrupt journal tail") {
+		t.Fatalf("truncation not logged: %v", logs.lines)
+	}
+	var st Status
+	if code := get(t, ts2, "/v1/status", &st); code != http.StatusOK {
+		t.Fatalf("status after torn-tail boot: %d", code)
+	}
+	if st.Accesses != 6 || st.Alerts != 6 {
+		t.Fatalf("torn-tail boot lost acknowledged records: %+v", st)
+	}
+}
+
+// TestDurableEvictionIsUnloadNotLoss evicts a tenant with live state and
+// checks that (a) the eviction is counted and logged, and (b) the next
+// request for the same ID rebuilds the tenant from its journal with nothing
+// lost.
+func TestDurableEvictionIsUnloadNotLoss(t *testing.T) {
+	dir := t.TempDir()
+	logs := &logBuf{}
+	srv, ts, bgE, bgP := durableFixture(t, dir, logs)
+	for i := 0; i < 9; i++ {
+		post(t, ts, "/v1/access", AccessRequest{EmployeeID: bgE, PatientID: bgP}, nil)
+	}
+	post(t, ts, "/v1/quit", QuitRequest{EmployeeID: bgE}, nil)
+	_, wantStatus := getRaw(t, ts, "/v1/status")
+
+	if !srv.RemoveTenant(DefaultTenantID) {
+		t.Fatal("default tenant not resident")
+	}
+	if !logs.contains("evicted tenant " + DefaultTenantID) {
+		t.Fatalf("eviction not logged: %v", logs.lines)
+	}
+	_, metrics := getRaw(t, ts, "/v1/metrics")
+	if !strings.Contains(metrics, "sag_shard_evictions_total 1") {
+		t.Fatal("sag_shard_evictions_total not incremented")
+	}
+
+	// Next touch re-creates the tenant — from its journal, not from zero.
+	if code, got := getRaw(t, ts, "/v1/status"); code != http.StatusOK || got != wantStatus {
+		t.Fatalf("re-created tenant diverged:\n got %s\nwant %s", got, wantStatus)
+	}
+}
+
+// TestDurableSnapshotEndpoint covers /v1/admin/snapshot: all tenants, one
+// tenant by header, unknown tenant, and the 400 when durability is off.
+func TestDurableSnapshotEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	_, ts, bgE, bgP := durableFixture(t, dir, nil)
+	post(t, ts, "/v1/access", AccessRequest{EmployeeID: bgE, PatientID: bgP}, nil)
+	postTenant(t, ts, "acme", "/v1/access", AccessRequest{EmployeeID: bgE, PatientID: bgP}, nil)
+
+	var snap SnapshotResponse
+	if code := post(t, ts, "/v1/admin/snapshot", SnapshotRequest{}, &snap); code != http.StatusOK {
+		t.Fatalf("snapshot-all status %d", code)
+	}
+	if snap.Tenants != 2 {
+		t.Fatalf("snapshotted %d tenants, want 2", snap.Tenants)
+	}
+	if code := postTenant(t, ts, "acme", "/v1/admin/snapshot", SnapshotRequest{}, &snap); code != http.StatusOK || snap.Tenants != 1 {
+		t.Fatalf("single-tenant snapshot: code %d, %+v", code, snap)
+	}
+	var apiErr apiError
+	if code := postTenant(t, ts, "ghost", "/v1/admin/snapshot", SnapshotRequest{}, &apiErr); code != http.StatusNotFound {
+		t.Fatalf("unknown tenant snapshot status %d", code)
+	}
+
+	// A forced snapshot bounds replay: a crash right after it recovers from
+	// the snapshot alone (zero replayed records).
+	logs := &logBuf{}
+	_, ts2, _, _ := durableFixture(t, dir, logs)
+	var st Status
+	get(t, ts2, "/v1/status", &st)
+	if st.Accesses != 1 {
+		t.Fatalf("snapshot-recovered status %+v", st)
+	}
+	if !logs.contains("+ 0 replayed records") {
+		t.Fatalf("expected snapshot-only recovery, logs: %v", logs.lines)
+	}
+
+	// Durability off: the endpoint must refuse rather than pretend.
+	_, plain, _, _ := fixture(t)
+	if code := post(t, plain, "/v1/admin/snapshot", SnapshotRequest{}, &apiErr); code != http.StatusBadRequest {
+		t.Fatalf("snapshot without data dir status %d", code)
+	}
+	if !strings.Contains(apiErr.Error, "durability is disabled") {
+		t.Fatalf("unhelpful error: %+v", apiErr)
+	}
+}
+
+// TestDurablePerTenantIsolation checks that two tenants journal and recover
+// independently — tenant A's records never leak into tenant B.
+func TestDurablePerTenantIsolation(t *testing.T) {
+	dir := t.TempDir()
+	_, ts, bgE, bgP := durableFixture(t, dir, nil)
+	for i := 0; i < 4; i++ {
+		postTenant(t, ts, "alpha", "/v1/access", AccessRequest{EmployeeID: bgE, PatientID: bgP}, nil)
+	}
+	for i := 0; i < 7; i++ {
+		postTenant(t, ts, "beta", "/v1/access", AccessRequest{EmployeeID: bgE, PatientID: bgP}, nil)
+	}
+	_, wantAlpha := getRaw(t, ts, "/v1/status?tenant=alpha")
+	_, wantBeta := getRaw(t, ts, "/v1/status?tenant=beta")
+
+	_, ts2, _, _ := durableFixture(t, dir, nil)
+	// Restore is lazy (first touch), so warm both tenants before comparing:
+	// active_tenants counts resident tenants, which grows as each journal is
+	// restored.
+	getRaw(t, ts2, "/v1/status?tenant=alpha")
+	getRaw(t, ts2, "/v1/status?tenant=beta")
+	if _, got := getRaw(t, ts2, "/v1/status?tenant=alpha"); got != wantAlpha {
+		t.Fatalf("alpha diverged:\n got %s\nwant %s", got, wantAlpha)
+	}
+	if _, got := getRaw(t, ts2, "/v1/status?tenant=beta"); got != wantBeta {
+		t.Fatalf("beta diverged:\n got %s\nwant %s", got, wantBeta)
+	}
+}
+
+// TestCycleSummaryEndpoint pins the read-only summary route used by the
+// crash drill: wrong method, unknown tenant, and a live summary.
+func TestCycleSummaryEndpoint(t *testing.T) {
+	_, ts, bgE, bgP := fixture(t)
+	post(t, ts, "/v1/access", AccessRequest{EmployeeID: bgE, PatientID: bgP}, nil)
+	var sum core.CycleSummary
+	if code := get(t, ts, "/v1/cycle/summary", &sum); code != http.StatusOK {
+		t.Fatalf("summary status %d", code)
+	}
+	if sum.Alerts != 1 {
+		t.Fatalf("summary %+v", sum)
+	}
+	if code := get(t, ts, "/v1/cycle/summary?tenant=ghost", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown tenant summary status %d", code)
+	}
+	resp, err := http.Post(ts.URL+"/v1/cycle/summary", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST on summary status %d", resp.StatusCode)
+	}
+}
+
+// TestDurableAutoSnapshotCadence sets a tiny SnapshotEvery and checks the
+// background snapshot fires (journal position counter resets and the next
+// boot recovers from a snapshot, not a cold replay of everything).
+func TestDurableAutoSnapshotCadence(t *testing.T) {
+	dir := t.TempDir()
+	world, err := emr.NewWorld(emr.WorldConfig{Seed: 5, Employees: 30, Patients: 100, Departments: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bgE, bgP := world.NumEmployees(), world.NumPatients()
+	if _, err := emr.NewGenerator(world, emr.GeneratorConfig{Seed: 5, PairsPerKind: 3, BackgroundPerDay: 1}); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := sim.Table1Instance(sim.AllTable1TypeIDs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{
+		World:    world,
+		Taxonomy: alerts.NewTable1Taxonomy(),
+		TypeIDs:  sim.AllTable1TypeIDs(),
+		Instance: inst,
+		Budget:   50,
+		Estimator: core.EstimatorFunc(func(time.Duration) ([]float64, error) {
+			return []float64{196.57, 29.02, 140.46, 10.84, 25.43, 15.14, 43.27}, nil
+		}),
+		Seed:          1,
+		Clock:         func() time.Duration { return 9 * time.Hour },
+		DataDir:       dir,
+		Fsync:         wal.FsyncAlways,
+		SnapshotEvery: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	for i := 0; i < 20; i++ {
+		post(t, ts, "/v1/access", AccessRequest{EmployeeID: bgE, PatientID: bgP}, nil)
+	}
+	// Background snapshots are asynchronous; wait for at least one snapshot
+	// record to land.
+	tdir := filepath.Join(dir, "tenants", "t-"+DefaultTenantID)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		rec, err := wal.Recover(tdir)
+		if err == nil && rec.Snapshot != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no automatic snapshot within 5s despite SnapshotEvery=5")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	_, wantStatus := getRaw(t, ts, "/v1/status")
+	_, ts2, _, _ := durableFixture(t, dir, nil)
+	if _, got := getRaw(t, ts2, "/v1/status"); got != wantStatus {
+		t.Fatalf("auto-snapshot recovery diverged:\n got %s\nwant %s", got, wantStatus)
+	}
+}

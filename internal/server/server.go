@@ -61,6 +61,7 @@ import (
 	"github.com/auditgames/sag/internal/game"
 	"github.com/auditgames/sag/internal/obs"
 	"github.com/auditgames/sag/internal/shard"
+	"github.com/auditgames/sag/internal/wal"
 )
 
 // TenantHeader is the request header naming the tenant an API call is for.
@@ -138,6 +139,24 @@ type Config struct {
 	// the concurrency tests, which substitute a blocking solver to prove
 	// decisions overlap.
 	SSESolve core.SSESolveFunc
+	// DataDir, when non-empty, enables durability: every tenant gets a
+	// write-ahead journal under DataDir/tenants/, each acknowledged
+	// state-changing request is journaled before its response is written,
+	// and a tenant booting with an existing journal recovers its full cycle
+	// state (snapshot + tail replay) bit-identically. Empty keeps the
+	// previous in-memory-only behavior.
+	DataDir string
+	// Fsync selects the journal durability policy (always / interval /
+	// none); the zero value is wal.FsyncAlways. Only meaningful with
+	// DataDir.
+	Fsync wal.FsyncPolicy
+	// SnapshotEvery is the automatic snapshot cadence in journal records
+	// per tenant; zero selects DefaultSnapshotEvery. Only meaningful with
+	// DataDir.
+	SnapshotEvery int
+	// Logf receives server log lines (recovery banners, truncation notices,
+	// eviction traces). Nil disables logging.
+	Logf func(format string, args ...any)
 }
 
 // tenantState is one tenant's serving state: its engine plus the HTTP
@@ -160,7 +179,9 @@ type tenantState struct {
 	id         string
 	seedOffset int64 // folded into RNG seeds; 0 for the default tenant
 	engine     *core.Engine
+	est        core.Estimator // this tenant's estimator (for state snapshots)
 	met        tenantMetrics
+	journal    *wal.Journal // nil when durability is disabled
 
 	lifecycle sync.RWMutex
 	closed    bool // cycle closed, awaiting /v1/cycle/new; guarded by lifecycle
@@ -172,6 +193,9 @@ type tenantState struct {
 	alerts   atomic.Int64
 	warned   atomic.Int64
 	quits    atomic.Int64
+
+	walRecords   atomic.Int64 // journal records since the last snapshot
+	snapshotting atomic.Bool  // one background snapshot at a time
 }
 
 // Server is the HTTP facade. Create with New and mount via Handler.
@@ -243,6 +267,8 @@ func New(cfg Config) (*Server, error) {
 		MaxTenants:  cfg.MaxTenants,
 		CacheBudget: cfg.Cache.Size,
 		Metrics:     s.met.reg,
+		OnEvict:     s.evictTenant,
+		Logf:        cfg.Logf,
 	})
 	if err != nil {
 		return nil, err
@@ -270,6 +296,29 @@ func (s *Server) buildTenant(id string) (*core.Engine, any, error) {
 			return nil, nil, fmt.Errorf("server: estimator for tenant %q: %w", id, err)
 		}
 	}
+	t := &tenantState{
+		id:         id,
+		seedOffset: seedOffset,
+		est:        est,
+		met:        newTenantMetrics(s.met.reg, id),
+		flagged:    make(map[int]bool),
+	}
+	// The engine's durability hook: enqueue the committed decision on this
+	// tenant's journal (the engine calls it under its budget lock, in commit
+	// order, and awaits the returned group-commit wait after unlocking).
+	// t.journal is set by openTenantJournal before the router publishes the
+	// tenant, so the hook never observes a nil journal from a request.
+	var journalFn core.JournalFunc
+	if s.durable() {
+		journalFn = func(rec core.DecisionRecord) (func() error, error) {
+			wait, err := t.journal.Append(wal.Record{Kind: wal.KindDecision, Decision: rec})
+			if err != nil {
+				return nil, err
+			}
+			s.noteAppend(t)
+			return wait, nil
+		}
+	}
 	engine, err := core.NewEngine(core.Config{
 		Instance:  s.cfg.Instance,
 		Budget:    s.cfg.Budget,
@@ -289,16 +338,19 @@ func (s *Server) buildTenant(id string) (*core.Engine, any, error) {
 		DecisionDeadline: s.cfg.DecisionDeadline,
 		Fallback:         true,
 		SSESolve:         s.cfg.SSESolve,
+		Journal:          journalFn,
 	})
 	if err != nil {
 		return nil, nil, err
 	}
-	t := &tenantState{
-		id:         id,
-		seedOffset: seedOffset,
-		engine:     engine,
-		met:        newTenantMetrics(s.met.reg, id),
-		flagged:    make(map[int]bool),
+	t.engine = engine
+	if s.durable() {
+		// Open (and recover) the tenant's journal before the router publishes
+		// the tenant: a restart restores the snapshot + replays the tail, so
+		// the first request after boot continues the interrupted cycle.
+		if err := s.openTenantJournal(t); err != nil {
+			return nil, nil, err
+		}
 	}
 	return engine, t, nil
 }
@@ -447,6 +499,8 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /v1/cycle/close", s.instrument("/v1/cycle/close", s.handleClose))
 	mux.Handle("POST /v1/cycle/new", s.instrument("/v1/cycle/new", s.handleNewCycle))
 	mux.Handle("GET /v1/status", s.instrument("/v1/status", s.handleStatus))
+	mux.Handle("GET /v1/cycle/summary", s.instrument("/v1/cycle/summary", s.handleCycleSummary))
+	mux.Handle("POST /v1/admin/snapshot", s.instrument("/v1/admin/snapshot", s.handleSnapshot))
 	mux.Handle("GET /v1/metrics", s.met.reg.Handler())
 
 	var api http.Handler = mux
@@ -534,8 +588,18 @@ func (s *Server) resolveTenant(w http.ResponseWriter, id string, create bool) *t
 			apiError{Error: fmt.Sprintf("invalid tenant ID %q: want 1-%d chars of [A-Za-z0-9._-]", id, shard.MaxIDLength)})
 		return nil
 	}
-	var tn *shard.Tenant
-	if create {
+	tn, ok := s.router.Get(id)
+	if !ok && !create && s.durable() && s.tenantOnDisk(id) {
+		// A durable tenant that was evicted (or predates this boot) is
+		// unloaded, not unknown: restore it from its journal on first use,
+		// even on endpoints that never create fresh tenants.
+		create = true
+	}
+	if !ok && !create {
+		writeJSON(w, http.StatusNotFound, apiError{Error: fmt.Sprintf("unknown tenant %q", id)})
+		return nil
+	}
+	if !ok {
 		var err error
 		tn, _, err = s.router.GetOrCreate(id)
 		if err != nil {
@@ -545,12 +609,6 @@ func (s *Server) resolveTenant(w http.ResponseWriter, id string, create bool) *t
 				return nil
 			}
 			writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
-			return nil
-		}
-	} else {
-		var ok bool
-		if tn, ok = s.router.Get(id); !ok {
-			writeJSON(w, http.StatusNotFound, apiError{Error: fmt.Sprintf("unknown tenant %q", id)})
 			return nil
 		}
 	}
@@ -602,11 +660,19 @@ func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request) {
 		PatientID:  req.PatientID,
 	})
 	if err != nil {
+		// The access was counted before it turned out malformed; journal the
+		// bare access so a recovered tenant reproduces the same counters.
+		if !s.journalRecord(w, t, wal.Record{Kind: wal.KindMeta}) {
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
 	}
 	resp := AccessResponse{RemainingBudget: t.engine.RemainingBudget()}
 	if !fired {
+		if !s.journalRecord(w, t, wal.Record{Kind: wal.KindMeta}) {
+			return
+		}
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
@@ -626,6 +692,9 @@ func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request) {
 		resp.Flagged = true
 		t.warned.Add(1)
 		t.met.warned.Inc()
+		if !s.journalRecord(w, t, wal.Record{Kind: wal.KindMeta, Meta: wal.Meta{Alerted: true, Warned: true}}) {
+			return
+		}
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
@@ -633,6 +702,9 @@ func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request) {
 	idx, gamed := s.typeIdx[alert.Type]
 	if !gamed {
 		// Unmodeled type: logged, never warned (no payoff structure).
+		if !s.journalRecord(w, t, wal.Record{Kind: wal.KindMeta, Meta: wal.Meta{Alerted: true}}) {
+			return
+		}
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
@@ -688,6 +760,11 @@ func (s *Server) handleQuit(w http.ResponseWriter, r *http.Request) {
 	if first {
 		t.quits.Add(1)
 		t.met.quits.Inc()
+		// Only the first report changes state; repeats are idempotent on
+		// replay too (the flag check above) so they need no record.
+		if !s.journalRecord(w, t, wal.Record{Kind: wal.KindQuit, Employee: req.EmployeeID}) {
+			return
+		}
 	}
 	writeJSON(w, http.StatusOK, struct {
 		Flagged bool `json:"flagged"`
@@ -718,6 +795,13 @@ func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
 	rng := rand.New(rand.NewSource(s.cfg.Seed ^ t.seedOffset ^ t.accesses.Load()))
 	audits, total := t.engine.CloseCycle(rng)
 	t.closed = true
+	// Durable before acknowledged: if the record is lost to a crash the
+	// client never saw the plan, recovery reopens the cycle, and a retried
+	// close re-derives the identical plan (same access count → same seed).
+	if !s.journalRecord(w, t, wal.Record{Kind: wal.KindCycleClose}) {
+		t.closed = false
+		return
+	}
 	writeJSON(w, http.StatusOK, CloseResponse{Audits: audits, TotalCost: total})
 }
 
@@ -743,6 +827,9 @@ func (s *Server) handleNewCycle(w http.ResponseWriter, r *http.Request) {
 	t.alerts.Store(0)
 	t.warned.Store(0)
 	t.quits.Store(0)
+	if !s.journalRecord(w, t, wal.Record{Kind: wal.KindCycleOpen, Budget: req.Budget}) {
+		return
+	}
 	writeJSON(w, http.StatusOK, struct {
 		Budget float64 `json:"budget"`
 	}{Budget: req.Budget})

@@ -47,6 +47,11 @@ const (
 	MetricTenantsCreatedTotal = "sag_shard_tenants_created_total"
 	// MetricTenantLimitTotal counts creations refused by the tenant cap.
 	MetricTenantLimitTotal = "sag_shard_tenant_limit_total"
+	// MetricEvictionsTotal counts tenants evicted via Remove. Before the WAL
+	// an eviction silently dropped the tenant's cycle state; now every one is
+	// counted, logged with its tenant ID, and (when durability is configured)
+	// preceded by a snapshot via Config.OnEvict.
+	MetricEvictionsTotal = "sag_shard_evictions_total"
 )
 
 // Defaults for Config fields left zero.
@@ -119,6 +124,16 @@ type Config struct {
 	// Metrics receives the sag_shard_* instruments; nil uses a private
 	// registry so the router's accounting always works.
 	Metrics *obs.Registry
+	// OnEvict, when non-nil, runs for each tenant Remove evicts — after the
+	// tenant is unlinked from the map (no new lookup can reach it) but
+	// before Remove returns, under the creation lock. The durable server
+	// uses it to drain the tenant's in-flight work, snapshot its engine
+	// state, and seal its journal so eviction is unload, not loss. It must
+	// not call back into the router.
+	OnEvict func(*Tenant)
+	// Logf, when non-nil, receives eviction log lines (tenant ID included),
+	// so unloads are always traceable. Nil disables logging.
+	Logf func(format string, args ...any)
 }
 
 type bucket struct {
@@ -145,6 +160,7 @@ type Router struct {
 	rebalance *obs.Counter
 	created   *obs.Counter
 	limited   *obs.Counter
+	evicted   *obs.Counter
 }
 
 // NewRouter validates cfg and returns an empty router.
@@ -169,6 +185,7 @@ func NewRouter(cfg Config) (*Router, error) {
 		rebalance: reg.Counter(MetricRebalanceTotal, "Cache-budget rebalances across tenant engines."),
 		created:   reg.Counter(MetricTenantsCreatedTotal, "Tenants ever created."),
 		limited:   reg.Counter(MetricTenantLimitTotal, "Tenant creations refused by the cap."),
+		evicted:   reg.Counter(MetricEvictionsTotal, "Tenants evicted (state snapshotted first when durable)."),
 	}
 	for i := range r.buckets {
 		r.buckets[i].tenants = make(map[string]*Tenant)
@@ -227,14 +244,17 @@ func (r *Router) GetOrCreate(id string) (*Tenant, bool, error) {
 }
 
 // Remove evicts a tenant, rebalancing the cache budget across the
-// remainder. It reports whether the tenant was resident. The caller is
-// responsible for draining the tenant's in-flight work first.
+// remainder. It reports whether the tenant was resident. The eviction is
+// never silent: it is counted in sag_shard_evictions_total and logged with
+// the tenant ID via Config.Logf, and Config.OnEvict runs after the tenant
+// is unlinked (so the embedder can drain it, snapshot its state, and seal
+// its journal) but before Remove returns.
 func (r *Router) Remove(id string) bool {
 	r.createMu.Lock()
 	defer r.createMu.Unlock()
 	b := r.bucketFor(id)
 	b.mu.Lock()
-	_, ok := b.tenants[id]
+	t, ok := b.tenants[id]
 	delete(b.tenants, id)
 	b.mu.Unlock()
 	if !ok {
@@ -242,7 +262,14 @@ func (r *Router) Remove(id string) bool {
 	}
 	n := r.count.Add(-1)
 	r.active.Set(float64(n))
+	if r.cfg.OnEvict != nil {
+		r.cfg.OnEvict(t)
+	}
 	r.rebalanceLocked(int(n))
+	r.evicted.Inc()
+	if r.cfg.Logf != nil {
+		r.cfg.Logf("shard: evicted tenant %s (%d resident)", t.ID, n)
+	}
 	return true
 }
 

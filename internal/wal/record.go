@@ -1,0 +1,256 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/auditgames/sag/internal/core"
+	"github.com/auditgames/sag/internal/fallback"
+)
+
+// Kind discriminates journal records.
+type Kind uint8
+
+const (
+	// KindSnapshot carries an owner-encoded full-state snapshot. Recovery
+	// restores from the last snapshot and replays only the records after it.
+	KindSnapshot Kind = 1
+	// KindDecision is one committed engine decision (core.DecisionRecord):
+	// the chosen signal, the audit charge, and the budget chain.
+	KindDecision Kind = 2
+	// KindMeta is one served request that produced no engine decision —
+	// a benign access, a flagged-user warning, or an unmodeled alert type —
+	// carried for the tenant's cycle counters.
+	KindMeta Kind = 3
+	// KindQuit records that a warned employee abandoned the access.
+	KindQuit Kind = 4
+	// KindCycleOpen records a cycle rollover with its fresh budget.
+	KindCycleOpen Kind = 5
+	// KindCycleClose records that the cycle's audit plan was drawn.
+	KindCycleClose Kind = 6
+)
+
+// String returns a stable name for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case KindSnapshot:
+		return "snapshot"
+	case KindDecision:
+		return "decision"
+	case KindMeta:
+		return "meta"
+	case KindQuit:
+		return "quit"
+	case KindCycleOpen:
+		return "cycle_open"
+	case KindCycleClose:
+		return "cycle_close"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Meta flag bits.
+const (
+	// MetaAlerted marks that a detection rule fired on the access.
+	MetaAlerted = 1 << 0
+	// MetaWarned marks that the response carried a warning (flagged user).
+	MetaWarned = 1 << 1
+)
+
+// Meta is the counter delta of one request that bypassed the engine.
+// Every meta record implies one access; the flags add the alert/warn deltas.
+type Meta struct {
+	Alerted bool
+	Warned  bool
+}
+
+// Record is one journal entry. Kind selects which payload field is live.
+type Record struct {
+	Kind     Kind
+	Decision core.DecisionRecord // KindDecision
+	Meta     Meta                // KindMeta
+	Employee int                 // KindQuit
+	Budget   float64             // KindCycleOpen
+	Snapshot []byte              // KindSnapshot (owner-encoded blob)
+}
+
+// Decision record flag bits.
+const (
+	decWarned  = 1 << 0
+	decVacuous = 1 << 1
+	decApplied = 1 << 2
+)
+
+// appendFloat appends the IEEE-754 bit pattern little endian.
+func appendFloat(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// encode appends the payload encoding of r (kind byte first) to buf.
+func encode(buf []byte, r Record) ([]byte, error) {
+	buf = append(buf, byte(r.Kind))
+	switch r.Kind {
+	case KindSnapshot:
+		buf = append(buf, r.Snapshot...)
+	case KindDecision:
+		d := r.Decision
+		if d.Type < 0 || d.Time < 0 {
+			return nil, fmt.Errorf("wal: negative field in decision record %+v", d)
+		}
+		buf = binary.AppendUvarint(buf, d.Seq)
+		buf = binary.AppendUvarint(buf, uint64(d.Type))
+		buf = binary.AppendUvarint(buf, uint64(d.Time))
+		var flags byte
+		if d.Warned {
+			flags |= decWarned
+		}
+		if d.Vacuous {
+			flags |= decVacuous
+		}
+		if d.AppliedSAG {
+			flags |= decApplied
+		}
+		buf = append(buf, flags, byte(d.Fallback))
+		buf = appendFloat(buf, d.Theta)
+		buf = appendFloat(buf, d.AuditCharge)
+		buf = appendFloat(buf, d.BudgetBefore)
+		buf = appendFloat(buf, d.BudgetAfter)
+		buf = appendFloat(buf, d.SSEUtility)
+		buf = appendFloat(buf, d.OSSPUtility)
+	case KindMeta:
+		var flags byte
+		if r.Meta.Alerted {
+			flags |= MetaAlerted
+		}
+		if r.Meta.Warned {
+			flags |= MetaWarned
+		}
+		buf = append(buf, flags)
+	case KindQuit:
+		if r.Employee < 0 {
+			return nil, fmt.Errorf("wal: negative employee %d", r.Employee)
+		}
+		buf = binary.AppendUvarint(buf, uint64(r.Employee))
+	case KindCycleOpen:
+		buf = appendFloat(buf, r.Budget)
+	case KindCycleClose:
+		// No payload beyond the kind byte.
+	default:
+		return nil, fmt.Errorf("wal: unknown record kind %d", r.Kind)
+	}
+	return buf, nil
+}
+
+// DecodeRecord parses one payload (as framed by the segment format) back
+// into a Record. It is the inverse of encode and rejects trailing bytes,
+// truncated fields, and unknown kinds — corruption that slipped past the
+// CRC must still never produce a silently wrong record.
+func DecodeRecord(p []byte) (Record, error) {
+	var r Record
+	if len(p) == 0 {
+		return r, fmt.Errorf("wal: empty payload")
+	}
+	r.Kind = Kind(p[0])
+	rest := p[1:]
+	switch r.Kind {
+	case KindSnapshot:
+		// The blob is owner-encoded; keep a copy so the caller may retain it
+		// after the read buffer is reused.
+		r.Snapshot = append([]byte(nil), rest...)
+		return r, nil
+	case KindDecision:
+		var d core.DecisionRecord
+		var err error
+		if d.Seq, rest, err = takeUvarint(rest); err != nil {
+			return r, fmt.Errorf("wal: decision seq: %w", err)
+		}
+		var v uint64
+		if v, rest, err = takeUvarint(rest); err != nil {
+			return r, fmt.Errorf("wal: decision type: %w", err)
+		}
+		if v > math.MaxInt32 {
+			return r, fmt.Errorf("wal: implausible decision type %d", v)
+		}
+		d.Type = int(v)
+		if v, rest, err = takeUvarint(rest); err != nil {
+			return r, fmt.Errorf("wal: decision time: %w", err)
+		}
+		if v > uint64(math.MaxInt64) {
+			return r, fmt.Errorf("wal: implausible decision time %d", v)
+		}
+		d.Time = time.Duration(v)
+		if len(rest) < 2 {
+			return r, fmt.Errorf("wal: decision flags truncated")
+		}
+		flags := rest[0]
+		d.Warned = flags&decWarned != 0
+		d.Vacuous = flags&decVacuous != 0
+		d.AppliedSAG = flags&decApplied != 0
+		d.Fallback = fallbackLevel(rest[1])
+		rest = rest[2:]
+		for _, dst := range []*float64{&d.Theta, &d.AuditCharge, &d.BudgetBefore, &d.BudgetAfter, &d.SSEUtility, &d.OSSPUtility} {
+			if *dst, rest, err = takeFloat(rest); err != nil {
+				return r, fmt.Errorf("wal: decision floats: %w", err)
+			}
+		}
+		r.Decision = d
+	case KindMeta:
+		if len(rest) < 1 {
+			return r, fmt.Errorf("wal: meta flags truncated")
+		}
+		r.Meta.Alerted = rest[0]&MetaAlerted != 0
+		r.Meta.Warned = rest[0]&MetaWarned != 0
+		rest = rest[1:]
+	case KindQuit:
+		v, tail, err := takeUvarint(rest)
+		if err != nil {
+			return r, fmt.Errorf("wal: quit employee: %w", err)
+		}
+		if v > math.MaxInt32 {
+			return r, fmt.Errorf("wal: implausible employee %d", v)
+		}
+		r.Employee = int(v)
+		rest = tail
+	case KindCycleOpen:
+		var err error
+		if r.Budget, rest, err = takeFloat(rest); err != nil {
+			return r, fmt.Errorf("wal: cycle budget: %w", err)
+		}
+	case KindCycleClose:
+		// No payload.
+	default:
+		return r, fmt.Errorf("wal: unknown record kind %d", p[0])
+	}
+	if len(rest) != 0 {
+		return r, fmt.Errorf("wal: %d trailing bytes after %v record", len(rest), r.Kind)
+	}
+	return r, nil
+}
+
+// fallbackLevel narrows a stored byte to the fallback ladder's range;
+// out-of-range values (format drift, corruption past the CRC) clamp to the
+// terminal Static rung rather than inventing a new level.
+func fallbackLevel(b byte) fallback.Level {
+	if l := fallback.Level(b); l >= fallback.None && l <= fallback.Static {
+		return l
+	}
+	return fallback.Static
+}
+
+func takeUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("bad varint")
+	}
+	return v, b[n:], nil
+}
+
+func takeFloat(b []byte) (float64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, fmt.Errorf("truncated float")
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b)), b[8:], nil
+}

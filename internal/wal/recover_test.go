@@ -1,0 +1,219 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// buildJournal writes recs into dir and seals the journal.
+func buildJournal(t *testing.T, dir string, recs []Record) {
+	t.Helper()
+	j, _, err := Open(dir, Options{Fsync: FsyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, j, recs)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoverTornTailTruncates(t *testing.T) {
+	dir := t.TempDir()
+	recs := []Record{
+		{Kind: KindCycleOpen, Budget: 5},
+		{Kind: KindQuit, Employee: 1},
+		{Kind: KindQuit, Employee: 2},
+	}
+	buildJournal(t, dir, recs)
+	segs, _ := segments(dir)
+	if len(segs) != 1 {
+		t.Fatalf("want one segment, got %v", segs)
+	}
+	// Tear the final write: chop bytes off the end, as a kill -9 mid-write
+	// (or a lost page) would.
+	info, err := os.Stat(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := int64(1); cut < 4; cut++ {
+		if err := os.Truncate(segs[0], info.Size()-cut); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := Recover(dir)
+		if err != nil {
+			t.Fatalf("recovery failed on a torn tail (cut %d): %v", cut, err)
+		}
+		if !rec.Truncated {
+			t.Fatalf("cut %d: torn tail not reported", cut)
+		}
+		if rec.TruncatedSegment != segs[0] || rec.TruncatedOffset <= int64(headerSize) {
+			t.Fatalf("cut %d: truncation located at %s@%d", cut, rec.TruncatedSegment, rec.TruncatedOffset)
+		}
+		// The last record is gone; the valid prefix survives.
+		if !reflect.DeepEqual(rec.Tail, recs[:2]) {
+			t.Fatalf("cut %d: recovered %+v, want first two records", cut, rec.Tail)
+		}
+		// The file was physically truncated: a second recovery is clean.
+		rec2, err := Recover(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec2.Truncated {
+			t.Fatalf("cut %d: second recovery still reports corruption", cut)
+		}
+		if !reflect.DeepEqual(rec2.Tail, recs[:2]) {
+			t.Fatalf("cut %d: second recovery lost records", cut)
+		}
+	}
+}
+
+func TestRecoverCRCCorruptionTruncates(t *testing.T) {
+	dir := t.TempDir()
+	recs := []Record{
+		{Kind: KindQuit, Employee: 10},
+		{Kind: KindQuit, Employee: 20},
+		{Kind: KindQuit, Employee: 30},
+	}
+	buildJournal(t, dir, recs)
+	segs, _ := segments(dir)
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a bit in the middle record's payload (each record here is
+	// 1-byte length + 2-byte payload + 4-byte CRC = 7 bytes).
+	mid := headerSize + 7 + 2
+	data[mid] ^= 0x40
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatalf("recovery failed on CRC corruption: %v", err)
+	}
+	if !rec.Truncated {
+		t.Fatal("CRC corruption not reported")
+	}
+	// Only the record before the corruption survives; the corrupt record
+	// AND the (individually valid) one after it are gone — records after a
+	// tear are not trustworthy.
+	if !reflect.DeepEqual(rec.Tail, recs[:1]) {
+		t.Fatalf("recovered %+v, want only the first record", rec.Tail)
+	}
+}
+
+func TestRecoverCorruptionDropsLaterSegments(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{Fsync: FsyncNone, SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []Record
+	for i := 0; i < 40; i++ {
+		r := Record{Kind: KindQuit, Employee: i}
+		recs = append(recs, r)
+	}
+	appendAll(t, j, recs)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := segments(dir)
+	if len(segs) < 3 {
+		t.Fatalf("test needs ≥3 segments, got %d", len(segs))
+	}
+	// Corrupt the header of the second segment.
+	if err := os.WriteFile(segs[1], []byte("BOGUS"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Truncated {
+		t.Fatal("corrupt segment header not reported")
+	}
+	// Everything from the corrupt segment onward is gone from disk.
+	left, _ := segments(dir)
+	if len(left) != 1 || left[0] != segs[0] {
+		t.Fatalf("remaining segments %v, want only %s", left, segs[0])
+	}
+	// The first segment's records all survive, and nothing after.
+	for i, r := range rec.Tail {
+		if r.Employee != i {
+			t.Fatalf("record %d = %+v", i, r)
+		}
+	}
+	if len(rec.Tail) == 0 || len(rec.Tail) >= len(recs) {
+		t.Fatalf("recovered %d of %d records", len(rec.Tail), len(recs))
+	}
+}
+
+func TestRecoverEmptyAndMissingDir(t *testing.T) {
+	rec, err := Recover(t.TempDir())
+	if err != nil || rec.Records != 0 {
+		t.Fatalf("empty dir: %+v, %v", rec, err)
+	}
+	if _, err := Recover(filepath.Join(t.TempDir(), "missing")); err != nil {
+		t.Fatalf("missing dir should recover empty, got %v", err)
+	}
+}
+
+func TestRecoverWhollyCorruptSegmentRemoved(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, segmentName(0))
+	if err := os.WriteFile(path, []byte("not a segment at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Truncated || rec.Records != 0 {
+		t.Fatalf("recovery = %+v", rec)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("wholly corrupt segment not removed")
+	}
+	// The journal must boot cleanly on the scrubbed directory.
+	j, rec2, err := Open(dir, Options{Fsync: FsyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if rec2.Truncated || rec2.Records != 0 {
+		t.Fatalf("second recovery = %+v", rec2)
+	}
+}
+
+func TestOpenAfterTornTailAppendsCleanly(t *testing.T) {
+	dir := t.TempDir()
+	buildJournal(t, dir, []Record{{Kind: KindQuit, Employee: 1}, {Kind: KindQuit, Employee: 2}})
+	segs, _ := segments(dir)
+	info, _ := os.Stat(segs[0])
+	if err := os.Truncate(segs[0], info.Size()-2); err != nil {
+		t.Fatal(err)
+	}
+	// Open recovers (truncating the tear) and appends on a fresh segment.
+	j, rec, err := Open(dir, Options{Fsync: FsyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Truncated || len(rec.Tail) != 1 {
+		t.Fatalf("recovery = %+v", rec)
+	}
+	appendAll(t, j, []Record{{Kind: KindQuit, Employee: 3}})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	final, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Record{{Kind: KindQuit, Employee: 1}, {Kind: KindQuit, Employee: 3}}
+	if !reflect.DeepEqual(final.Tail, want) {
+		t.Fatalf("final tail %+v, want %+v", final.Tail, want)
+	}
+}

@@ -1,0 +1,509 @@
+// Package wal is the engine's durability substrate: a per-tenant
+// write-ahead journal of every state mutation — decision commits (with the
+// sampled signal and budget charge), cycle opens and closes, quits, and
+// counter deltas — plus periodic snapshot records capturing full state, so
+// a crashed process recovers by restoring the last snapshot and replaying
+// only the tail.
+//
+// # Format
+//
+// A journal is a directory of segment files named wal-NNNNNN.sagw, reusing
+// the logstore segment idiom: a 5-byte header (magic "SAGW" + format
+// version) followed by length-prefixed records
+//
+//	uvarint  payloadLen
+//	payload  byte kind · kind-specific encoding (see record.go)
+//	uint32   CRC-32 (IEEE) of payload, little endian
+//
+// A reopened journal always starts a fresh segment, so previously sealed
+// files are immutable. Torn tails and CRC-corrupt records are handled at
+// recovery by truncating to the last valid record (see Open); segments
+// wholly superseded by a later snapshot are pruned.
+//
+// # Durability
+//
+// Appends go through a buffered group-commit writer: callers enqueue under
+// a short lock and, under FsyncAlways, block on the returned wait until a
+// shared fsync covers their record — concurrent committers amortize one
+// fsync. FsyncInterval trades the tail of durability for throughput by
+// syncing on a timer; FsyncNone leaves persistence to the OS page cache.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/auditgames/sag/internal/obs"
+)
+
+const (
+	magic      = "SAGW"
+	version    = 1
+	headerSize = 5
+	// maxRecordBytes guards against corrupt length prefixes on read.
+	// Snapshot records carry whole-cycle state, so the cap is generous.
+	maxRecordBytes = 64 << 20
+)
+
+// DefaultSegmentBytes is the default segment roll size.
+const DefaultSegmentBytes = 16 << 20
+
+// Journal metric names.
+const (
+	// MetricAppendsTotal counts records appended (snapshots included).
+	MetricAppendsTotal = "sag_wal_appends_total"
+	// MetricFsyncSeconds is a histogram of fsync latencies.
+	MetricFsyncSeconds = "sag_wal_fsync_seconds"
+	// MetricSnapshotBytes gauges the size of the last snapshot record.
+	MetricSnapshotBytes = "sag_snapshot_bytes"
+)
+
+// FsyncPolicy selects when appended records are forced to stable storage.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways group-commits: every Append's wait blocks until an fsync
+	// covers the record. A kill -9 loses at most responses, never
+	// acknowledged state.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval syncs on a timer (Options.Interval); a crash can lose
+	// the records appended since the last tick.
+	FsyncInterval
+	// FsyncNone never fsyncs explicitly; the OS decides. Fastest, weakest.
+	FsyncNone
+)
+
+// String returns the flag spelling of the policy.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncNone:
+		return "none"
+	default:
+		return fmt.Sprintf("FsyncPolicy(%d)", int(p))
+	}
+}
+
+// ParseFsyncPolicy parses the flag spelling ("always", "interval", "none").
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch strings.ToLower(s) {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "none":
+		return FsyncNone, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown fsync policy %q (want always|interval|none)", s)
+	}
+}
+
+// Options configures a Journal.
+type Options struct {
+	// Fsync selects the durability policy; the zero value is FsyncAlways.
+	Fsync FsyncPolicy
+	// Interval is the FsyncInterval tick; zero selects 100ms.
+	Interval time.Duration
+	// SegmentBytes is the roll size; zero selects DefaultSegmentBytes.
+	SegmentBytes int64
+	// Metrics, when non-nil, receives the sag_wal_* instruments, stamped
+	// with Labels (the server passes tenant="<id>").
+	Metrics *obs.Registry
+	// Labels are extra labels for every instrument.
+	Labels []obs.Label
+}
+
+func (o *Options) fillDefaults() {
+	if o.Interval <= 0 {
+		o.Interval = 100 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+}
+
+// ErrClosed is returned by appends to a closed journal.
+var ErrClosed = errors.New("wal: journal is closed")
+
+// Journal appends records to a journal directory. All methods are safe for
+// concurrent use. Lock hierarchy: mu is a leaf — no callback runs under it.
+type Journal struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	f       *os.File
+	bw      *bufio.Writer
+	seq     int   // sequence number of the active segment
+	written int64 // bytes in the active segment
+	dirty   bool  // records buffered/written since the last fsync
+	closed  bool
+	pending []chan error // FsyncAlways waiters for the next sync
+	encBuf  []byte
+
+	syncReq chan struct{}
+	done    chan struct{}
+	wg      sync.WaitGroup
+
+	appends   *obs.Counter
+	fsyncSec  *obs.Histogram
+	snapBytes *obs.Gauge
+}
+
+// Open recovers the journal directory (see Recover) and opens it for
+// appending on a fresh segment. The returned Recovery describes what was
+// restored — the caller replays Recovery.Snapshot + Recovery.Tail before
+// appending new records.
+func Open(dir string, opts Options) (*Journal, *Recovery, error) {
+	opts.fillDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: creating journal dir: %w", err)
+	}
+	rec, err := Recover(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	j := &Journal{
+		dir:       dir,
+		opts:      opts,
+		seq:       rec.nextSeq,
+		syncReq:   make(chan struct{}, 1),
+		done:      make(chan struct{}),
+		appends:   opts.Metrics.Counter(MetricAppendsTotal, "Journal records appended.", opts.Labels...),
+		fsyncSec:  opts.Metrics.Histogram(MetricFsyncSeconds, "Journal fsync latency in seconds.", obs.DefTimeBuckets, opts.Labels...),
+		snapBytes: opts.Metrics.Gauge(MetricSnapshotBytes, "Size of the last snapshot record in bytes.", opts.Labels...),
+	}
+	if err := j.openSegmentLocked(); err != nil {
+		return nil, nil, err
+	}
+	j.wg.Add(1)
+	go j.syncer()
+	return j, rec, nil
+}
+
+// Dir returns the journal directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// segmentName renders the file name of segment n.
+func segmentName(n int) string { return fmt.Sprintf("wal-%06d.sagw", n) }
+
+// segments lists the journal's segment files in sequence order.
+func segments(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: reading journal dir: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".sagw") {
+			out = append(out, filepath.Join(dir, name))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// segmentSeq parses the sequence number out of a segment path.
+func segmentSeq(path string) (int, error) {
+	var n int
+	if _, err := fmt.Sscanf(filepath.Base(path), "wal-%06d.sagw", &n); err != nil {
+		return 0, fmt.Errorf("wal: unparsable segment name %q", path)
+	}
+	return n, nil
+}
+
+// openSegmentLocked creates the next segment and writes its header. The
+// caller holds mu or has exclusive access (Open).
+func (j *Journal) openSegmentLocked() error {
+	name := filepath.Join(j.dir, segmentName(j.seq))
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating segment: %w", err)
+	}
+	j.f = f
+	j.bw = bufio.NewWriterSize(f, 1<<16)
+	if _, err := j.bw.WriteString(magic); err != nil {
+		return err
+	}
+	if err := j.bw.WriteByte(version); err != nil {
+		return err
+	}
+	j.written = headerSize
+	j.dirty = true
+	return syncDir(j.dir)
+}
+
+// syncDir fsyncs a directory so freshly created/removed files survive a
+// crash of the file system metadata. Failures are reported, not fatal —
+// some file systems refuse directory fsync.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}
+
+// rollLocked seals the active segment — flush, fsync, close, releasing any
+// group-commit waiters (their records are in the sealed file) — and opens
+// the next one. The caller holds mu.
+func (j *Journal) rollLocked() error {
+	waiters := j.pending
+	j.pending = nil
+	err := j.sealLocked()
+	for _, ch := range waiters {
+		ch <- err
+	}
+	if err != nil {
+		return err
+	}
+	j.seq++
+	return j.openSegmentLocked()
+}
+
+// sealLocked flushes, fsyncs, and closes the active segment.
+func (j *Journal) sealLocked() error {
+	if err := j.bw.Flush(); err != nil {
+		return err
+	}
+	t0 := time.Now()
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.fsyncSec.ObserveSince(t0)
+	j.dirty = false
+	return j.f.Close()
+}
+
+// appendLocked frames and writes one record payload into the active
+// segment, rolling first if the segment is full. The caller holds mu.
+func (j *Journal) appendLocked(r Record) error {
+	if j.closed {
+		return ErrClosed
+	}
+	if j.written >= j.opts.SegmentBytes {
+		if err := j.rollLocked(); err != nil {
+			return err
+		}
+	}
+	payload, err := encode(j.encBuf[:0], r)
+	if err != nil {
+		return err
+	}
+	j.encBuf = payload[:0]
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(payload)))
+	if _, err := j.bw.Write(lenBuf[:n]); err != nil {
+		return err
+	}
+	if _, err := j.bw.Write(payload); err != nil {
+		return err
+	}
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], crc32.ChecksumIEEE(payload))
+	if _, err := j.bw.Write(crcBuf[:]); err != nil {
+		return err
+	}
+	j.written += int64(n + len(payload) + 4)
+	j.dirty = true
+	j.appends.Inc()
+	return nil
+}
+
+// Append enqueues one record in arrival order. The returned wait is nil
+// when the record is already as durable as the policy promises (interval /
+// none policies, or an immediate error); otherwise the caller must invoke
+// it — outside any lock ordered before Append — and it blocks until a
+// group fsync covers the record, returning the sync error if any.
+//
+// Append itself holds only the journal's short buffer lock, so callers may
+// enqueue while holding their own commit lock to preserve commit order,
+// then wait after releasing it.
+func (j *Journal) Append(r Record) (wait func() error, err error) {
+	j.mu.Lock()
+	if err := j.appendLocked(r); err != nil {
+		j.mu.Unlock()
+		return nil, err
+	}
+	if j.opts.Fsync != FsyncAlways {
+		j.mu.Unlock()
+		return nil, nil
+	}
+	ch := make(chan error, 1)
+	j.pending = append(j.pending, ch)
+	j.mu.Unlock()
+	j.kick()
+	return func() error { return <-ch }, nil
+}
+
+// kick wakes the syncer without blocking (coalescing redundant wakes).
+func (j *Journal) kick() {
+	select {
+	case j.syncReq <- struct{}{}:
+	default:
+	}
+}
+
+// syncer is the group-commit goroutine: it flushes the buffered writer,
+// fsyncs once, and releases every waiter that enqueued before the flush.
+// Under FsyncInterval it also ticks on the configured period.
+func (j *Journal) syncer() {
+	defer j.wg.Done()
+	var tick *time.Ticker
+	var tickC <-chan time.Time
+	if j.opts.Fsync == FsyncInterval {
+		tick = time.NewTicker(j.opts.Interval)
+		tickC = tick.C
+		defer tick.Stop()
+	}
+	for {
+		select {
+		case <-j.done:
+			return
+		case <-j.syncReq:
+		case <-tickC:
+		}
+		j.syncOnce()
+	}
+}
+
+// syncOnce performs one group commit: flush under mu, fsync outside it so
+// new appends keep flowing, then release the batch's waiters.
+func (j *Journal) syncOnce() {
+	j.mu.Lock()
+	if j.closed || !j.dirty {
+		waiters := j.pending
+		j.pending = nil
+		j.mu.Unlock()
+		for _, ch := range waiters {
+			ch <- nil
+		}
+		return
+	}
+	waiters := j.pending
+	j.pending = nil
+	err := j.bw.Flush()
+	f := j.f
+	j.dirty = false
+	j.mu.Unlock()
+
+	if err == nil {
+		t0 := time.Now()
+		err = f.Sync()
+		j.fsyncSec.ObserveSince(t0)
+	}
+	for _, ch := range waiters {
+		ch <- err
+	}
+}
+
+// Snapshot appends an owner-encoded full-state snapshot record, forces it
+// to stable storage regardless of the fsync policy, and prunes segments
+// wholly superseded by it. After Snapshot returns nil, recovery will
+// restore from this snapshot (plus any records appended after it).
+func (j *Journal) Snapshot(blob []byte) error {
+	j.mu.Lock()
+	if err := j.appendLocked(Record{Kind: KindSnapshot, Snapshot: blob}); err != nil {
+		j.mu.Unlock()
+		return err
+	}
+	// The segment that holds the snapshot: everything strictly older is
+	// re-derivable from it and safe to delete once the snapshot is synced.
+	snapSeg := j.seq
+	err := j.bw.Flush()
+	f := j.f
+	j.dirty = false
+	j.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	j.fsyncSec.ObserveSince(t0)
+	j.snapBytes.Set(float64(len(blob)))
+	return j.pruneBefore(snapSeg)
+}
+
+// pruneBefore deletes sealed segments with sequence numbers below keep.
+func (j *Journal) pruneBefore(keep int) error {
+	segs, err := segments(j.dir)
+	if err != nil {
+		return err
+	}
+	removed := false
+	for _, s := range segs {
+		n, err := segmentSeq(s)
+		if err != nil {
+			continue // foreign file matching the glob; leave it alone
+		}
+		if n < keep {
+			if err := os.Remove(s); err != nil {
+				return fmt.Errorf("wal: pruning %s: %w", s, err)
+			}
+			removed = true
+		}
+	}
+	if removed {
+		return syncDir(j.dir)
+	}
+	return nil
+}
+
+// Sync forces buffered records to stable storage (used by tests and by
+// explicit flush points under the interval/none policies).
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return ErrClosed
+	}
+	err := j.bw.Flush()
+	f := j.f
+	j.dirty = false
+	j.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// Close seals the active segment and stops the syncer. Further appends
+// return ErrClosed. Close is idempotent.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return nil
+	}
+	j.closed = true
+	waiters := j.pending
+	j.pending = nil
+	err := j.sealLocked()
+	j.mu.Unlock()
+	for _, ch := range waiters {
+		ch <- err
+	}
+	close(j.done)
+	j.wg.Wait()
+	return err
+}

@@ -1,0 +1,450 @@
+package wal
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/auditgames/sag/internal/core"
+	"github.com/auditgames/sag/internal/fallback"
+	"github.com/auditgames/sag/internal/obs"
+)
+
+// sampleRecords returns one record of every kind with non-trivial fields.
+func sampleRecords() []Record {
+	return []Record{
+		{Kind: KindCycleOpen, Budget: 12.5},
+		{Kind: KindDecision, Decision: core.DecisionRecord{
+			Seq: 0, Type: 3, Time: 90 * time.Minute,
+			Warned: true, AppliedSAG: true, Fallback: fallback.None,
+			Theta: 0.41, AuditCharge: 0.3125,
+			BudgetBefore: 12.5, BudgetAfter: 11.875,
+			SSEUtility: -42.7, OSSPUtility: -31.9,
+		}},
+		{Kind: KindMeta, Meta: Meta{Alerted: true}},
+		{Kind: KindMeta, Meta: Meta{Alerted: true, Warned: true}},
+		{Kind: KindMeta},
+		{Kind: KindQuit, Employee: 417},
+		{Kind: KindDecision, Decision: core.DecisionRecord{
+			Seq: 1, Type: 0, Time: time.Hour,
+			Vacuous: true, Fallback: fallback.Static,
+			BudgetBefore: 11.875, BudgetAfter: 11.875,
+		}},
+		{Kind: KindCycleClose},
+		{Kind: KindSnapshot, Snapshot: []byte(`{"engine":{"budget":1}}`)},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, r := range sampleRecords() {
+		payload, err := encode(nil, r)
+		if err != nil {
+			t.Fatalf("encode %v: %v", r.Kind, err)
+		}
+		back, err := DecodeRecord(payload)
+		if err != nil {
+			t.Fatalf("decode %v: %v", r.Kind, err)
+		}
+		if !reflect.DeepEqual(r, back) {
+			t.Fatalf("round trip changed %v record:\n got %+v\nwant %+v", r.Kind, back, r)
+		}
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	cases := []Record{
+		{Kind: Kind(99)},
+		{Kind: KindDecision, Decision: core.DecisionRecord{Type: -1}},
+		{Kind: KindDecision, Decision: core.DecisionRecord{Time: -time.Second}},
+		{Kind: KindQuit, Employee: -4},
+	}
+	for _, r := range cases {
+		if _, err := encode(nil, r); err == nil {
+			t.Errorf("encode accepted invalid record %+v", r)
+		}
+	}
+}
+
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	for _, r := range sampleRecords() {
+		if r.Kind == KindSnapshot {
+			continue // snapshot payloads are opaque, any length is valid
+		}
+		payload, err := encode(nil, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecodeRecord(append(payload, 0xAA)); err == nil {
+			t.Errorf("decode accepted %v record with a trailing byte", r.Kind)
+		}
+	}
+}
+
+func TestDecodeFloatBitExact(t *testing.T) {
+	// The budget chain must survive the journal bit for bit, including
+	// values that decimal formats mangle.
+	vals := []float64{0, math.Pi, 1.0 / 3.0, math.SmallestNonzeroFloat64, math.MaxFloat64}
+	for _, v := range vals {
+		payload, err := encode(nil, Record{Kind: KindCycleOpen, Budget: v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := DecodeRecord(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(back.Budget) != math.Float64bits(v) {
+			t.Fatalf("float %g changed bits through the journal", v)
+		}
+	}
+}
+
+// appendAll appends records and waits for each durability ack.
+func appendAll(t *testing.T, j *Journal, recs []Record) {
+	t.Helper()
+	for _, r := range recs {
+		wait, err := j.Append(r)
+		if err != nil {
+			t.Fatalf("append %v: %v", r.Kind, err)
+		}
+		if wait != nil {
+			if err := wait(); err != nil {
+				t.Fatalf("wait %v: %v", r.Kind, err)
+			}
+		}
+	}
+}
+
+func TestJournalAppendRecover(t *testing.T) {
+	for _, policy := range []FsyncPolicy{FsyncAlways, FsyncInterval, FsyncNone} {
+		t.Run(policy.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			j, rec, err := Open(dir, Options{Fsync: policy, Interval: time.Millisecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rec.Records != 0 || rec.Snapshot != nil {
+				t.Fatalf("fresh dir recovered %+v", rec)
+			}
+			want := sampleRecords()
+			appendAll(t, j, want)
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			rec2, err := Recover(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rec2.Records != len(want) {
+				t.Fatalf("recovered %d records, want %d", rec2.Records, len(want))
+			}
+			// The final sample record is a snapshot, so the tail is empty and
+			// the snapshot blob is the last one written.
+			if string(rec2.Snapshot) != string(want[len(want)-1].Snapshot) {
+				t.Fatalf("snapshot blob changed: %q", rec2.Snapshot)
+			}
+			if len(rec2.Tail) != 0 {
+				t.Fatalf("tail has %d records, want 0 (snapshot is last)", len(rec2.Tail))
+			}
+		})
+	}
+}
+
+func TestRecoverTailAfterSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{Fsync: FsyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Snapshot([]byte("snap-1")); err != nil {
+		t.Fatal(err)
+	}
+	tail := []Record{
+		{Kind: KindMeta, Meta: Meta{Alerted: true}},
+		{Kind: KindQuit, Employee: 7},
+	}
+	appendAll(t, j, tail)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rec.Snapshot) != "snap-1" {
+		t.Fatalf("snapshot = %q", rec.Snapshot)
+	}
+	if !reflect.DeepEqual(rec.Tail, tail) {
+		t.Fatalf("tail = %+v, want %+v", rec.Tail, tail)
+	}
+}
+
+func TestJournalRollsSegments(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{Fsync: FsyncNone, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Record
+	for i := 0; i < 64; i++ {
+		r := Record{Kind: KindQuit, Employee: i}
+		want = append(want, r)
+	}
+	appendAll(t, j, want)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("expected multiple segments at a 256-byte roll size, got %d", len(segs))
+	}
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rec.Tail, want) {
+		t.Fatalf("recovered %d records across %d segments, want %d", len(rec.Tail), len(segs), len(want))
+	}
+}
+
+func TestReopenStartsFreshSegment(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{Fsync: FsyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, j, []Record{{Kind: KindCycleClose}})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, rec, err := Open(dir, Options{Fsync: FsyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if rec.Records != 1 {
+		t.Fatalf("recovered %d records, want 1", rec.Records)
+	}
+	segs, err := segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sealed segment + the reopened journal's fresh one.
+	if len(segs) != 2 {
+		t.Fatalf("expected sealed + fresh segment, got %v", segs)
+	}
+}
+
+func TestSnapshotPrunesSealedSegments(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{Fsync: FsyncNone, SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		appendAll(t, j, []Record{{Kind: KindQuit, Employee: i}})
+	}
+	before, _ := segments(dir)
+	if len(before) < 3 {
+		t.Fatalf("test needs several segments, got %d", len(before))
+	}
+	if err := j.Snapshot([]byte("snap")); err != nil {
+		t.Fatal(err)
+	}
+	after, err := segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != 1 {
+		t.Fatalf("snapshot kept %d segments, want 1: %v", len(after), after)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rec.Snapshot) != "snap" || len(rec.Tail) != 0 {
+		t.Fatalf("recovered snapshot=%q tail=%d", rec.Snapshot, len(rec.Tail))
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{Fsync: FsyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil { // idempotent
+		t.Fatalf("second close: %v", err)
+	}
+	if _, err := j.Append(Record{Kind: KindCycleClose}); err != ErrClosed {
+		t.Fatalf("append after close: %v, want ErrClosed", err)
+	}
+	if err := j.Sync(); err != ErrClosed {
+		t.Fatalf("sync after close: %v, want ErrClosed", err)
+	}
+}
+
+func TestConcurrentGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, per = 8, 50
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*per)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				wait, err := j.Append(Record{Kind: KindQuit, Employee: w*per + i})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := wait(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Tail) != workers*per {
+		t.Fatalf("recovered %d records, want %d", len(rec.Tail), workers*per)
+	}
+	seen := make(map[int]bool)
+	for _, r := range rec.Tail {
+		if r.Kind != KindQuit || seen[r.Employee] {
+			t.Fatalf("bad or duplicate record %+v", r)
+		}
+		seen[r.Employee] = true
+	}
+}
+
+func TestParseFsyncPolicy(t *testing.T) {
+	for _, p := range []FsyncPolicy{FsyncAlways, FsyncInterval, FsyncNone} {
+		got, err := ParseFsyncPolicy(p.String())
+		if err != nil || got != p {
+			t.Fatalf("ParseFsyncPolicy(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParseFsyncPolicy("sometimes"); err == nil {
+		t.Fatal("accepted unknown policy")
+	}
+}
+
+func TestMetricsWired(t *testing.T) {
+	reg := obs.NewRegistry()
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{Fsync: FsyncAlways, Metrics: reg, Labels: []obs.Label{obs.L("tenant", "x")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, j, []Record{{Kind: KindCycleClose}})
+	if err := j.Snapshot([]byte("abcde")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter(MetricAppendsTotal, "", obs.L("tenant", "x")).Value(); got != 2 {
+		t.Fatalf("%s = %v, want 2", MetricAppendsTotal, got)
+	}
+	if got := reg.Gauge(MetricSnapshotBytes, "", obs.L("tenant", "x")).Value(); got != 5 {
+		t.Fatalf("%s = %v, want 5", MetricSnapshotBytes, got)
+	}
+	if reg.Histogram(MetricFsyncSeconds, "", obs.DefTimeBuckets, obs.L("tenant", "x")).Count() == 0 {
+		t.Fatalf("%s never observed", MetricFsyncSeconds)
+	}
+}
+
+func TestRandomizedRoundTripThroughJournal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{Fsync: FsyncNone, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Record
+	for i := 0; i < 300; i++ {
+		var r Record
+		switch rng.Intn(5) {
+		case 0:
+			r = Record{Kind: KindDecision, Decision: core.DecisionRecord{
+				Seq:          uint64(i),
+				Type:         rng.Intn(10),
+				Time:         time.Duration(rng.Int63n(int64(24 * time.Hour))),
+				Warned:       rng.Intn(2) == 0,
+				Vacuous:      rng.Intn(8) == 0,
+				AppliedSAG:   rng.Intn(2) == 0,
+				Fallback:     fallback.Level(rng.Intn(4)),
+				Theta:        rng.Float64(),
+				AuditCharge:  rng.Float64(),
+				BudgetBefore: rng.Float64() * 100,
+				BudgetAfter:  rng.Float64() * 100,
+				SSEUtility:   rng.NormFloat64() * 1000,
+				OSSPUtility:  rng.NormFloat64() * 1000,
+			}}
+		case 1:
+			r = Record{Kind: KindMeta, Meta: Meta{Alerted: rng.Intn(2) == 0, Warned: rng.Intn(2) == 0}}
+		case 2:
+			r = Record{Kind: KindQuit, Employee: rng.Intn(10000)}
+		case 3:
+			r = Record{Kind: KindCycleOpen, Budget: rng.Float64() * 50}
+		case 4:
+			r = Record{Kind: KindCycleClose}
+		}
+		want = append(want, r)
+	}
+	appendAll(t, j, want)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rec.Tail, want) {
+		t.Fatal("randomized records did not survive the journal byte-exact")
+	}
+}
+
+func TestOpenCreatesDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "wal")
+	j, _, err := Open(dir, Options{Fsync: FsyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatal(err)
+	}
+}
