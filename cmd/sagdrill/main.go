@@ -1,26 +1,33 @@
-// Command sagdrill is the crash drill for sagserver's durability layer: it
-// proves that kill -9 at an arbitrary point loses nothing the server ever
-// acknowledged, and that the recovered server is bit-identical to one that
-// never crashed.
+// Command sagdrill is the crash and failover drill for sagserver's
+// durability layer: it proves that kill -9 at an arbitrary point loses
+// nothing the server ever acknowledged, and that the surviving state is
+// bit-identical to a run that was never interrupted.
 //
-// The drill runs the same deterministic request script twice, each against
-// its own sagserver subprocess with its own data dir and a pinned cycle
-// clock:
+// Every mode first executes a deterministic request script uninterrupted
+// against its own sagserver (the golden run), then repeats it under fire:
 //
-//   - the golden run executes the script uninterrupted;
-//   - the crash run is SIGKILLed mid-script (with one request in flight),
-//     restarted on the same data dir, and resumes the script from exactly
-//     the point the recovered /v1/status proves was applied.
+//   - -mode crash: the server is SIGKILLed mid-script (with one request in
+//     flight), restarted on the same data dir, and the script resumes from
+//     exactly the point the recovered /v1/status proves was applied.
+//
+//   - -mode failover: a primary ships its WAL to a -follow standby. The
+//     drill first kills the standby, advances the primary past snapshot
+//     pruning so the standby's resume cursor is gapped, restarts it, and
+//     requires a snapshot re-seed (not divergence). Then, caught up again,
+//     the primary is SIGKILLed with a request in flight, the standby is
+//     promoted via /v1/admin/promote, and the script resumes against it.
 //
 // Both runs then answer /v1/status, /v1/cycle/summary, and /v1/cycle/close.
 // The drill fails unless all three responses match byte for byte, and
-// unless the recovered state accounts for every acknowledged request (the
+// unless the surviving state accounts for every acknowledged request (the
 // kill may cost at most the single un-acknowledged in-flight request).
+// -artifacts writes the diverging responses to files for CI upload.
 //
 // Usage:
 //
 //	go build -o sagserver ./cmd/sagserver
 //	go run ./cmd/sagdrill -server ./sagserver -seed "$RANDOM"
+//	go run ./cmd/sagdrill -server ./sagserver -mode failover -seed "$RANDOM"
 package main
 
 import (
@@ -35,6 +42,9 @@ import (
 	"net/http"
 	"os"
 	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
 	"time"
 )
 
@@ -60,29 +70,36 @@ type status struct {
 // it directly.
 type config struct {
 	serverBin string
+	mode      string
 	seed      int64
 	requests  int
 	employees int
 	patients  int
 	history   int
 	startWait time.Duration
+	artifacts string
 }
 
 func run() error {
 	var cfg config
 	flag.StringVar(&cfg.serverBin, "server", "./sagserver", "path to the sagserver binary under test")
+	flag.StringVar(&cfg.mode, "mode", "crash", "drill mode: crash (kill + restart on the same data dir) or failover (kill the primary, promote a WAL-shipping standby)")
 	flag.Int64Var(&cfg.seed, "seed", 1, "drill seed: request script, kill point, and kill timing all derive from it")
 	flag.IntVar(&cfg.requests, "requests", 40, "access requests in the script (plus one quit)")
 	flag.IntVar(&cfg.employees, "employees", 120, "world size passed to the server (first planted pair = employees/patients)")
 	flag.IntVar(&cfg.patients, "patients", 600, "world size passed to the server")
 	flag.IntVar(&cfg.history, "history", 8, "days of simulated history the server fits on (drill speed knob)")
 	flag.DurationVar(&cfg.startWait, "start-wait", 3*time.Minute, "how long to wait for each server boot")
+	flag.StringVar(&cfg.artifacts, "artifacts", "", "on divergence, write the golden and actual responses under this directory (for CI upload)")
 	flag.Parse()
 	return drillRun(cfg)
 }
 
 func drillRun(cfg config) error {
-	log.Printf("drill seed %d", cfg.seed)
+	if cfg.mode == "" {
+		cfg.mode = "crash"
+	}
+	log.Printf("drill seed %d (mode %s)", cfg.seed, cfg.mode)
 
 	script := buildScript(cfg.seed, cfg.requests, cfg.employees, cfg.patients)
 	rng := rand.New(rand.NewSource(cfg.seed ^ 0x9d1))
@@ -93,11 +110,6 @@ func drillRun(cfg config) error {
 		return err
 	}
 	defer os.RemoveAll(goldenDir)
-	crashDir, err := os.MkdirTemp("", "sagdrill-crash-*")
-	if err != nil {
-		return err
-	}
-	defer os.RemoveAll(crashDir)
 
 	d := &drill{
 		bin:       cfg.serverBin,
@@ -114,24 +126,63 @@ func drillRun(cfg config) error {
 		return fmt.Errorf("golden run: %w", err)
 	}
 
-	log.Printf("crash run: SIGKILL with op %d/%d in flight", kill, len(script))
-	crashed, err := d.crashRun(crashDir, script, kill, rng.Intn(8))
-	if err != nil {
-		return fmt.Errorf("crash run: %w", err)
+	var survived capture
+	var what string
+	switch cfg.mode {
+	case "crash":
+		crashDir, err := os.MkdirTemp("", "sagdrill-crash-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(crashDir)
+		log.Printf("crash run: SIGKILL with op %d/%d in flight", kill, len(script))
+		survived, err = d.crashRun(crashDir, script, kill, rng.Intn(8))
+		if err != nil {
+			return fmt.Errorf("crash run: %w", err)
+		}
+		what = "kill -9 recovery"
+	case "failover":
+		log.Printf("failover run: SIGKILL the primary with op %d/%d in flight, promote the standby", kill, len(script))
+		survived, err = d.failoverRun(script, kill, rng.Intn(8))
+		if err != nil {
+			return fmt.Errorf("failover run: %w", err)
+		}
+		what = "standby promotion"
+	default:
+		return fmt.Errorf("unknown -mode %q (want crash or failover)", cfg.mode)
 	}
 
-	for _, c := range []struct{ name, want, got string }{
-		{"/v1/status", golden.status, crashed.status},
-		{"/v1/cycle/summary", golden.summary, crashed.summary},
-		{"/v1/cycle/close", golden.close_, crashed.close_},
+	for _, c := range []struct{ name, file, want, got string }{
+		{"/v1/status", "status", golden.status, survived.status},
+		{"/v1/cycle/summary", "summary", golden.summary, survived.summary},
+		{"/v1/cycle/close", "close", golden.close_, survived.close_},
 	} {
 		if c.want != c.got {
-			return fmt.Errorf("%s diverged after crash recovery:\n golden: %s\ncrashed: %s", c.name, c.want, c.got)
+			dumpDivergence(cfg.artifacts, cfg.mode, c.file, c.want, c.got)
+			return fmt.Errorf("%s diverged after %s:\n golden: %s\n actual: %s", c.name, what, c.want, c.got)
 		}
-		log.Printf("%s: recovered run matches golden run byte for byte", c.name)
+		log.Printf("%s: surviving run matches golden run byte for byte", c.name)
 	}
-	fmt.Println("sagdrill: PASS — kill -9 recovery is bit-identical to the uninterrupted run")
+	fmt.Printf("sagdrill: PASS — %s is bit-identical to the uninterrupted run\n", what)
 	return nil
+}
+
+// dumpDivergence writes a diverging response pair under the artifacts dir so
+// CI can upload it; a no-op when no directory was requested.
+func dumpDivergence(dir, mode, name, golden, actual string) {
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Printf("artifacts: %v", err)
+		return
+	}
+	for suffix, body := range map[string]string{"golden": golden, "actual": actual} {
+		path := filepath.Join(dir, fmt.Sprintf("%s-%s-%s.json", mode, name, suffix))
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			log.Printf("artifacts: %v", err)
+		}
+	}
 }
 
 // buildScript generates the deterministic op sequence: planted-pair accesses
@@ -174,10 +225,11 @@ type capture struct {
 	close_  string
 }
 
-// start launches one sagserver over dir and waits until it serves.
-func (d *drill) start(dir string, port int) (*exec.Cmd, string, error) {
+// start launches one sagserver over dir and waits until it serves; extra
+// flags (replication roles, segment sizing) append after the common set.
+func (d *drill) start(dir string, port int, extra ...string) (*exec.Cmd, string, error) {
 	addr := fmt.Sprintf("127.0.0.1:%d", port)
-	cmd := exec.Command(d.bin,
+	args := []string{
 		"-addr", addr,
 		"-data-dir", dir,
 		"-fsync", "always",
@@ -186,7 +238,9 @@ func (d *drill) start(dir string, port int) (*exec.Cmd, string, error) {
 		"-employees", fmt.Sprint(d.employees),
 		"-patients", fmt.Sprint(d.patients),
 		"-history", fmt.Sprint(d.history),
-	)
+	}
+	args = append(args, extra...)
+	cmd := exec.Command(d.bin, args...)
 	cmd.Stdout = os.Stderr
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
@@ -364,4 +418,249 @@ func (d *drill) crashRun(dir string, script []op, kill, jitterMS int) (capture, 
 		}
 	}
 	return d.fingerprint(base2)
+}
+
+// failoverRun drives the script at a primary that ships its WAL to a hot
+// standby, and proves two things on the way to promotion:
+//
+//  1. a standby that comes back with a pruned (gapped) resume cursor
+//     re-seeds itself from the primary's snapshot instead of diverging;
+//  2. SIGKILLing the primary with one request in flight and promoting the
+//     standby loses nothing the primary ever acknowledged and replicated.
+//
+// The primary runs with tiny WAL segments so a handful of admin snapshots
+// is enough to prune the segments the dead standby's cursor points into.
+func (d *drill) failoverRun(script []op, kill, jitterMS int) (capture, error) {
+	primDir, err := os.MkdirTemp("", "sagdrill-primary-*")
+	if err != nil {
+		return capture{}, err
+	}
+	defer os.RemoveAll(primDir)
+	standbyDir, err := os.MkdirTemp("", "sagdrill-standby-*")
+	if err != nil {
+		return capture{}, err
+	}
+	defer os.RemoveAll(standbyDir)
+
+	primPort, err := freePort()
+	if err != nil {
+		return capture{}, err
+	}
+	standbyPort, err := freePort()
+	if err != nil {
+		return capture{}, err
+	}
+
+	prim, primBase, err := d.start(primDir, primPort, "-wal-segment-bytes", "512")
+	if err != nil {
+		return capture{}, fmt.Errorf("primary: %w", err)
+	}
+	defer func() {
+		_ = prim.Process.Kill()
+		_ = prim.Wait()
+	}()
+	standbyFlags := []string{"-follow", primBase, "-ready-lag", "0"}
+	standby, standbyBase, err := d.start(standbyDir, standbyPort, standbyFlags...)
+	if err != nil {
+		return capture{}, fmt.Errorf("standby: %w", err)
+	}
+	defer func() {
+		_ = standby.Process.Kill()
+		_ = standby.Wait()
+	}()
+
+	// Phase 1: tail live for the first half of the pre-kill script, then
+	// kill the standby and advance the primary past snapshot pruning so
+	// the standby's resume cursor points into deleted segments.
+	firstHalf := max(1, kill/2)
+	for i := 0; i < firstHalf; i++ {
+		if err := d.apply(primBase, script[i]); err != nil {
+			return capture{}, fmt.Errorf("op %d at primary: %w", i, err)
+		}
+	}
+	if err := d.waitCaughtUp(standbyBase, d.startWait); err != nil {
+		return capture{}, fmt.Errorf("standby catch-up (live tail): %w", err)
+	}
+	if err := standby.Process.Kill(); err != nil {
+		return capture{}, err
+	}
+	_ = standby.Wait()
+	_, standbyMax, err := segRange(standbyDir)
+	if err != nil {
+		return capture{}, fmt.Errorf("dead standby segments: %w", err)
+	}
+	pruned := false
+	for i := 0; i < 100; i++ {
+		if err := d.snapshot(primBase); err != nil {
+			return capture{}, fmt.Errorf("snapshot %d at primary: %w", i, err)
+		}
+		primMin, _, err := segRange(primDir)
+		if err != nil {
+			return capture{}, fmt.Errorf("primary segments: %w", err)
+		}
+		if primMin > standbyMax {
+			pruned = true
+			break
+		}
+	}
+	if !pruned {
+		return capture{}, fmt.Errorf("primary never pruned past the standby's cursor (standby max segment %d)", standbyMax)
+	}
+
+	// Phase 2: the standby comes back with a gapped cursor; the only legal
+	// recovery is wiping its mirror and re-seeding from the primary's
+	// snapshot, which its fresh segment numbers prove happened.
+	standby, standbyBase, err = d.start(standbyDir, standbyPort, standbyFlags...)
+	if err != nil {
+		return capture{}, fmt.Errorf("standby restart: %w", err)
+	}
+	defer func() {
+		_ = standby.Process.Kill()
+		_ = standby.Wait()
+	}()
+	if err := d.waitCaughtUp(standbyBase, d.startWait); err != nil {
+		return capture{}, fmt.Errorf("standby catch-up (after re-seed): %w", err)
+	}
+	reseedMin, _, err := segRange(standbyDir)
+	if err != nil {
+		return capture{}, fmt.Errorf("re-seeded standby segments: %w", err)
+	}
+	if reseedMin <= standbyMax {
+		return capture{}, fmt.Errorf("standby min segment %d did not advance past its pre-gap max %d: re-seed did not happen", reseedMin, standbyMax)
+	}
+	log.Printf("standby re-seeded from snapshot (segments now start at %d, were ≤ %d)", reseedMin, standbyMax)
+
+	// Phase 3: finish the acknowledged prefix, confirm zero lag, then kill
+	// the primary with op `kill` in flight and promote the standby.
+	for i := firstHalf; i < kill; i++ {
+		if err := d.apply(primBase, script[i]); err != nil {
+			return capture{}, fmt.Errorf("op %d at primary: %w", i, err)
+		}
+	}
+	if err := d.waitCaughtUp(standbyBase, d.startWait); err != nil {
+		return capture{}, fmt.Errorf("standby catch-up (pre-kill): %w", err)
+	}
+	inflight := make(chan struct{})
+	go func() {
+		defer close(inflight)
+		_ = d.apply(primBase, script[kill])
+	}()
+	time.Sleep(time.Duration(jitterMS) * time.Millisecond)
+	if err := prim.Process.Kill(); err != nil {
+		return capture{}, err
+	}
+	_ = prim.Wait()
+	<-inflight
+
+	if err := d.promote(standbyBase); err != nil {
+		return capture{}, fmt.Errorf("promote: %w", err)
+	}
+	raw, err := d.get(standbyBase, "/v1/status")
+	if err != nil {
+		return capture{}, fmt.Errorf("promoted status: %w", err)
+	}
+	var st status
+	if err := json.Unmarshal([]byte(raw), &st); err != nil {
+		return capture{}, err
+	}
+	applied := int(st.Accesses + st.Quits)
+	if applied < kill || applied > kill+1 {
+		return capture{}, fmt.Errorf("promoted standby holds %d applied ops; %d were acknowledged and replicated before the kill (durability violated)", applied, kill)
+	}
+	log.Printf("promoted standby holds %d/%d ops (in-flight op %s); resuming against it", applied, len(script),
+		map[bool]string{true: "survived", false: "lost"}[applied == kill+1])
+	for i := applied; i < len(script); i++ {
+		if err := d.apply(standbyBase, script[i]); err != nil {
+			return capture{}, fmt.Errorf("op %d after promotion: %w", i, err)
+		}
+	}
+	return d.fingerprint(standbyBase)
+}
+
+// waitCaughtUp polls the standby's /v1/readyz until it reports ready, which
+// with -ready-lag 0 means replication lag is exactly zero records.
+func (d *drill) waitCaughtUp(base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var last string
+	for {
+		resp, err := d.client.Get(base + "/v1/readyz")
+		if err == nil {
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			last = fmt.Sprintf("status %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		} else {
+			last = err.Error()
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("standby not caught up within %v (last readyz: %s)", timeout, last)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// snapshot asks a server to snapshot (and so prune) the default tenant.
+func (d *drill) snapshot(base string) error {
+	resp, err := d.client.Post(base+"/v1/admin/snapshot", "application/json", bytes.NewBufferString("{}"))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+	}
+	return nil
+}
+
+// promote flips a standby into a primary.
+func (d *drill) promote(base string) error {
+	resp, err := d.client.Post(base+"/v1/admin/promote", "application/json", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+	}
+	log.Printf("promoted standby: %s", bytes.TrimSpace(raw))
+	return nil
+}
+
+// segRange reports the lowest and highest WAL segment numbers present in a
+// data dir's default-tenant journal directory.
+func segRange(dataDir string) (lo, hi int, err error) {
+	dir := filepath.Join(dataDir, "tenants", "t-default")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, 0, err
+	}
+	lo = -1
+	for _, e := range entries {
+		name, ok := strings.CutPrefix(e.Name(), "wal-")
+		if !ok {
+			continue
+		}
+		name, ok = strings.CutSuffix(name, ".sagw")
+		if !ok {
+			continue
+		}
+		n, err := strconv.Atoi(name)
+		if err != nil {
+			continue
+		}
+		if lo == -1 || n < lo {
+			lo = n
+		}
+		if n > hi {
+			hi = n
+		}
+	}
+	if lo == -1 {
+		return 0, 0, fmt.Errorf("no WAL segments under %s", dir)
+	}
+	return lo, hi, nil
 }

@@ -52,12 +52,10 @@ func TestBuildScriptDeterministic(t *testing.T) {
 	}
 }
 
-// TestDrillEndToEnd runs the full drill machinery — golden run, mid-request
-// SIGKILL, recovery, resume — against a real sagserver subprocess over a
-// small world, and requires the recovered fingerprint to match the golden
-// one. This is the same assertion the CI crash-drill job makes, shrunk to
-// test size.
-func TestDrillEndToEnd(t *testing.T) {
+// buildServer compiles sagserver into a test temp dir, or skips the test
+// when the toolchain (or -short mode) rules the subprocess drill out.
+func buildServer(t *testing.T) string {
+	t.Helper()
 	if testing.Short() {
 		t.Skip("subprocess drill skipped in -short mode")
 	}
@@ -71,9 +69,17 @@ func TestDrillEndToEnd(t *testing.T) {
 	if err := build.Run(); err != nil {
 		t.Fatalf("building sagserver: %v", err)
 	}
+	return bin
+}
 
+// TestDrillEndToEnd runs the full drill machinery — golden run, mid-request
+// SIGKILL, recovery, resume — against a real sagserver subprocess over a
+// small world, and requires the recovered fingerprint to match the golden
+// one. This is the same assertion the CI crash-drill job makes, shrunk to
+// test size.
+func TestDrillEndToEnd(t *testing.T) {
 	if err := drillRun(config{
-		serverBin: bin,
+		serverBin: buildServer(t),
 		seed:      3,
 		requests:  14,
 		employees: 60,
@@ -82,5 +88,25 @@ func TestDrillEndToEnd(t *testing.T) {
 		startWait: 2 * time.Minute,
 	}); err != nil {
 		t.Fatalf("drill: %v", err)
+	}
+}
+
+// TestFailoverDrillEndToEnd runs the failover drill — primary + WAL-shipping
+// standby, forced snapshot re-seed after a gapped cursor, mid-request
+// SIGKILL of the primary, promotion, resume — and requires the promoted
+// standby's fingerprint to match the golden uninterrupted run. Same
+// assertion as the CI failover-drill job, shrunk to test size.
+func TestFailoverDrillEndToEnd(t *testing.T) {
+	if err := drillRun(config{
+		serverBin: buildServer(t),
+		mode:      "failover",
+		seed:      5,
+		requests:  14,
+		employees: 60,
+		patients:  300,
+		history:   6,
+		startWait: 2 * time.Minute,
+	}); err != nil {
+		t.Fatalf("failover drill: %v", err)
 	}
 }

@@ -18,15 +18,20 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"math/rand"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"github.com/auditgames/sag/internal/alerts"
@@ -44,16 +49,17 @@ func main() {
 
 func run() error {
 	var (
-		url      = flag.String("url", "http://localhost:8080", "target server base URL")
-		self     = flag.Bool("self", false, "ignore -url and load an in-process server over a small synthetic world")
-		workers  = flag.Int("workers", 8, "concurrent clients")
-		duration = flag.Duration("duration", 10*time.Second, "how long to drive load")
-		employee = flag.Int("employee", 400, "employee ID of the first planted pair")
-		patient  = flag.Int("patient", 2000, "patient ID of the first planted pair")
-		stride   = flag.Int("stride", 120, "ID distance between planted pairs of consecutive kinds (the server's pairs-per-kind)")
-		types    = flag.Int("types", 7, "number of planted alert types to cycle workers across")
-		budget   = flag.Float64("budget", 1e9, "audit budget for the in-process server (-self)")
-		tenants  = flag.Int("tenants", 0, "fan workers out across N tenants (load-0..load-N-1); 0 = default tenant only")
+		url            = flag.String("url", "http://localhost:8080", "target server base URL")
+		self           = flag.Bool("self", false, "ignore -url and load an in-process server over a small synthetic world")
+		workers        = flag.Int("workers", 8, "concurrent clients")
+		duration       = flag.Duration("duration", 10*time.Second, "how long to drive load")
+		employee       = flag.Int("employee", 400, "employee ID of the first planted pair")
+		patient        = flag.Int("patient", 2000, "patient ID of the first planted pair")
+		stride         = flag.Int("stride", 120, "ID distance between planted pairs of consecutive kinds (the server's pairs-per-kind)")
+		types          = flag.Int("types", 7, "number of planted alert types to cycle workers across")
+		budget         = flag.Float64("budget", 1e9, "audit budget for the in-process server (-self)")
+		tenants        = flag.Int("tenants", 0, "fan workers out across N tenants (load-0..load-N-1); 0 = default tenant only")
+		retryTransient = flag.Bool("retry-transient", true, "retry transient dial/reset errors with capped exponential backoff instead of counting them as failures (a restarting or failing-over server is not an error)")
 	)
 	flag.Parse()
 
@@ -86,6 +92,7 @@ func run() error {
 		lat           []time.Duration
 		alerts, warns int64
 		errs, non200  int64
+		retries       int64
 	}
 	stats := make([]workerStats, *workers)
 	var stop atomic.Bool
@@ -101,6 +108,7 @@ func run() error {
 			st := &stats[w]
 			body := bodies[w%*types]
 			client := &http.Client{Timeout: 30 * time.Second}
+			attempt := 0
 			for !stop.Load() {
 				t0 := time.Now()
 				req, err := http.NewRequest(http.MethodPost, base+"/v1/access", bytes.NewReader(body))
@@ -113,9 +121,19 @@ func run() error {
 				}
 				resp, err := client.Do(req)
 				if err != nil {
+					// A refused dial or reset connection usually means the
+					// server is restarting (or a standby is being promoted):
+					// back off and retry instead of charging an error.
+					if *retryTransient && transientErr(err) {
+						st.retries++
+						attempt++
+						sleepInterruptible(backoffDelay(attempt), &stop)
+						continue
+					}
 					st.errs++
 					continue
 				}
+				attempt = 0
 				var out server.AccessResponse
 				decErr := json.NewDecoder(resp.Body).Decode(&out)
 				resp.Body.Close()
@@ -139,7 +157,7 @@ func run() error {
 	elapsed := time.Since(start)
 
 	var all []time.Duration
-	var alerts, warns, errs, non200 int64
+	var alerts, warns, errs, non200, retries int64
 	perTenant := map[string][]time.Duration{}
 	for i := range stats {
 		all = append(all, stats[i].lat...)
@@ -148,6 +166,7 @@ func run() error {
 		warns += stats[i].warns
 		errs += stats[i].errs
 		non200 += stats[i].non200
+		retries += stats[i].retries
 	}
 	if len(all) == 0 {
 		return fmt.Errorf("no requests completed (%d transport errors)", errs)
@@ -159,8 +178,8 @@ func run() error {
 		fmt.Fprintf(os.Stdout, "tenants        %d\n", *tenants)
 	}
 	fmt.Fprintf(os.Stdout, "duration       %v\n", elapsed.Round(time.Millisecond))
-	fmt.Fprintf(os.Stdout, "requests       %d (%d alerts, %d warned, %d non-200, %d transport errors)\n",
-		len(all), alerts, warns, non200, errs)
+	fmt.Fprintf(os.Stdout, "requests       %d (%d alerts, %d warned, %d non-200, %d transport errors, %d transient retries)\n",
+		len(all), alerts, warns, non200, errs, retries)
 	fmt.Fprintf(os.Stdout, "throughput     %.1f req/s\n", float64(len(all))/elapsed.Seconds())
 	fmt.Fprintf(os.Stdout, "latency p50    %v\n", pct(all, 0.50).Round(time.Microsecond))
 	fmt.Fprintf(os.Stdout, "latency p90    %v\n", pct(all, 0.90).Round(time.Microsecond))
@@ -193,6 +212,43 @@ func run() error {
 // pct reads the p-quantile of an ascending-sorted latency slice.
 func pct(sorted []time.Duration, p float64) time.Duration {
 	return sorted[int(p*float64(len(sorted)-1))]
+}
+
+// transientErr reports whether a transport error is worth retrying: the
+// kinds a restarting or failing-over server produces (refused dials, reset
+// or half-closed connections), not protocol-level failures.
+func transientErr(err error) bool {
+	if errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE) ||
+		errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	var oe *net.OpError
+	return errors.As(err, &oe) && (oe.Op == "dial" || oe.Op == "read")
+}
+
+// backoffDelay is the capped exponential backoff (with jitter) before retry
+// number attempt (1-based): 50ms, 100ms, ... capped at 2s, each +0–50%.
+func backoffDelay(attempt int) time.Duration {
+	const base, maxDelay = 50 * time.Millisecond, 2 * time.Second
+	d := base << min(attempt-1, 10)
+	if d > maxDelay || d <= 0 {
+		d = maxDelay
+	}
+	return d + time.Duration(rand.Int63n(int64(d)/2+1))
+}
+
+// sleepInterruptible sleeps for d but wakes early once stop flips, so
+// backed-off workers do not hold up shutdown.
+func sleepInterruptible(d time.Duration, stop *atomic.Bool) {
+	const step = 25 * time.Millisecond
+	for d > 0 && !stop.Load() {
+		s := min(d, step)
+		time.Sleep(s)
+		d -= s
+	}
 }
 
 // maxTenants sizes the in-process server's tenant cap for an N-tenant

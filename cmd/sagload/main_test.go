@@ -2,8 +2,16 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
 	"net/http"
+	"net/url"
+	"sync/atomic"
+	"syscall"
 	"testing"
 	"time"
 
@@ -70,6 +78,68 @@ func TestMaxTenants(t *testing.T) {
 	}
 	if got := maxTenants(8); got != 9 {
 		t.Fatalf("maxTenants(8) = %d, want 9", got)
+	}
+}
+
+// TestTransientErr pins the retry filter: transport-level failures a
+// restarting or failing-over server produces are retryable, everything
+// else (including nil) is not.
+func TestTransientErr(t *testing.T) {
+	for _, err := range []error{
+		syscall.ECONNREFUSED,
+		syscall.ECONNRESET,
+		syscall.EPIPE,
+		io.EOF,
+		io.ErrUnexpectedEOF,
+		fmt.Errorf("wrapped: %w", syscall.ECONNREFUSED),
+		&net.OpError{Op: "dial", Err: errors.New("no route")},
+		&net.OpError{Op: "read", Err: errors.New("timeout")},
+		&url.Error{Op: "Post", URL: "http://x", Err: &net.OpError{Op: "dial", Err: errors.New("refused")}},
+	} {
+		if !transientErr(err) {
+			t.Errorf("transientErr(%v) = false, want true", err)
+		}
+	}
+	for _, err := range []error{
+		nil,
+		errors.New("bad request"),
+		&net.OpError{Op: "write", Err: errors.New("shut down")},
+		context.Canceled,
+	} {
+		if transientErr(err) {
+			t.Errorf("transientErr(%v) = true, want false", err)
+		}
+	}
+}
+
+// TestBackoffDelay pins the envelope: exponential from 50ms, capped at 2s,
+// jittered by at most +50%, and safe for absurd attempt numbers.
+func TestBackoffDelay(t *testing.T) {
+	base := 50 * time.Millisecond
+	for attempt := 1; attempt <= 20; attempt++ {
+		want := base << min(attempt-1, 10)
+		if want > 2*time.Second || want <= 0 {
+			want = 2 * time.Second
+		}
+		for i := 0; i < 10; i++ {
+			got := backoffDelay(attempt)
+			if got < want || got > want+want/2 {
+				t.Fatalf("backoffDelay(%d) = %v, want in [%v, %v]", attempt, got, want, want+want/2)
+			}
+		}
+	}
+	if got := backoffDelay(1 << 30); got < 2*time.Second || got > 3*time.Second {
+		t.Fatalf("huge attempt: %v outside the cap envelope", got)
+	}
+}
+
+func TestSleepInterruptibleStops(t *testing.T) {
+	var stop atomic.Bool
+	stop.Store(true)
+	t0 := time.Now()
+	sleepInterruptible(time.Minute, &stop)
+	if d := time.Since(t0); d > 5*time.Second {
+		t.Fatalf("stopped sleep still took %v", d)
 	}
 }
 

@@ -64,10 +64,14 @@ func run() error {
 		requestTimeout   = flag.Duration("request-timeout", 10*time.Second, "per-request HTTP timeout (0 disables)")
 		shutdownGrace    = flag.Duration("shutdown-grace", 10*time.Second, "time in-flight requests get to finish on SIGINT/SIGTERM")
 
-		dataDir       = flag.String("data-dir", "", "enable durability: per-tenant write-ahead journals and snapshots live under this directory, and restarts recover the exact engine state")
-		fsyncMode     = flag.String("fsync", "always", "journal durability policy with -data-dir: always (fsync before every ack), interval (group fsync on a timer), none (OS page cache only)")
-		snapshotEvery = flag.Int("snapshot-every", 0, "journal records between automatic per-tenant snapshots with -data-dir (0 = default)")
-		fixedClock    = flag.Duration("fixed-clock", -1, "pin the cycle clock to a fixed offset, e.g. 9h (deterministic runs and crash drills; negative = wall clock)")
+		dataDir         = flag.String("data-dir", "", "enable durability: per-tenant write-ahead journals and snapshots live under this directory, and restarts recover the exact engine state")
+		fsyncMode       = flag.String("fsync", "always", "journal durability policy with -data-dir: always (fsync before every ack), interval (group fsync on a timer), none (OS page cache only)")
+		snapshotEvery   = flag.Int("snapshot-every", 0, "journal records between automatic per-tenant snapshots with -data-dir (0 = default)")
+		walSegmentBytes = flag.Int64("wal-segment-bytes", 0, "journal segment roll size in bytes with -data-dir (0 = default; drills shrink it to force rolls)")
+		fixedClock      = flag.Duration("fixed-clock", -1, "pin the cycle clock to a fixed offset, e.g. 9h (deterministic runs and crash drills; negative = wall clock)")
+
+		follow   = flag.String("follow", "", "run as a hot standby replicating from this primary base URL (e.g. http://127.0.0.1:8080); requires -data-dir, mutations answer 503 until POST /v1/admin/promote")
+		readyLag = flag.Int("ready-lag", 0, "with -follow: /v1/readyz reports ready once every tenant's replication lag is at or below this many records")
 
 		tenants      = flag.Int("tenants", 0, "pre-create tenant-1..tenant-N at startup (others are created on first use)")
 		maxTenants   = flag.Int("max-tenants", 0, "resident tenant cap; requests for new tenants beyond it answer 429 (0 = default)")
@@ -148,6 +152,9 @@ func run() error {
 		DataDir:          *dataDir,
 		Fsync:            fsync,
 		SnapshotEvery:    *snapshotEvery,
+		SegmentBytes:     *walSegmentBytes,
+		FollowPrimary:    *follow,
+		FollowerReadyLag: *readyLag,
 		Logf:             log.Printf,
 	}
 	if *fixedClock >= 0 {
@@ -197,6 +204,12 @@ func run() error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *follow != "" {
+		if err := srv.StartFollowing(ctx); err != nil {
+			return err
+		}
+		log.Printf("standby: replicating from %s; mutations answer 503 until POST /v1/admin/promote", *follow)
+	}
 	return server.Run(ctx, server.RunConfig{
 		Addr:          *addr,
 		Handler:       srv.Handler(),

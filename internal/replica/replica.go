@@ -1,0 +1,78 @@
+// Package replica implements WAL log shipping between a primary sagserver
+// and a warm-standby follower, the paper's serving deployment made highly
+// available: an auditor that stops signaling mid-cycle forfeits the
+// deterrence guarantees of Theorems 1–2, so the standby keeps every
+// tenant's engine warm and takes over in seconds with zero acknowledged
+// mutation loss.
+//
+// # Protocol
+//
+// The primary exposes GET /v1/replicate?tenant=<id>&seg=N&off=M&crc=X. The
+// cursor (seg, off) is the follower's mirrored tail — a byte position in
+// its own copy of the tenant's journal, which is byte-for-byte identical to
+// the primary's — and crc is the stored checksum of the record ending
+// there. The primary validates the cursor against its on-disk journal:
+//
+//   - a valid cursor resumes streaming from exactly that frame;
+//   - a pruned segment, a non-boundary offset, or a checksum mismatch
+//     answers 409 with X-SAG-Reseed: 1 — the follower discards its local
+//     copy and reconnects cursorless;
+//   - a cursorless connect streams the whole retained journal from its
+//     oldest frame, with X-SAG-Apply-From naming the newest snapshot
+//     record: the follower persists every frame but starts replaying state
+//     at the snapshot.
+//
+// The response is an unbounded binary stream of length-prefixed frames:
+//
+//	'r' uvarint(seg) uvarint(off) uvarint(len) raw-frame-bytes
+//	'h' uvarint(seg) uvarint(off) uvarint(records)        — heartbeat
+//
+// Record frames carry the journal frame exactly as stored (length prefix +
+// payload + CRC-32), so the follower verifies the checksum and appends the
+// same bytes at the same offset of the same segment file. Heartbeats carry
+// the primary's durable cursor and record count (~1s apart, and after every
+// batch) so the follower can measure catch-up lag even when idle.
+//
+// Without a tenant parameter the endpoint answers a JSON listing of the
+// primary's durable tenants; the follower polls it to discover tenants.
+package replica
+
+import "time"
+
+// Replication metric names.
+const (
+	// MetricLagRecords gauges, per tenant, how many durable primary records
+	// the follower has not yet applied.
+	MetricLagRecords = "sag_replica_lag_records"
+	// MetricLagSeconds gauges, per tenant, how long ago the follower was
+	// last fully caught up (zero while caught up).
+	MetricLagSeconds = "sag_replica_lag_seconds"
+	// MetricReconnects counts replication stream (re)connect attempts after
+	// the first, per tenant.
+	MetricReconnects = "sag_replica_reconnects_total"
+)
+
+// Wire headers of the replication handshake.
+const (
+	// HeaderReseed marks a 409 that demands a snapshot re-seed: the
+	// follower's history has diverged from (or fallen off) the primary's
+	// retained journal.
+	HeaderReseed = "X-SAG-Reseed"
+	// HeaderApplyFrom names the cursor ("seg/off") at which the follower
+	// starts replaying state; earlier frames are persisted, not applied.
+	HeaderApplyFrom = "X-SAG-Apply-From"
+)
+
+// Frame type bytes of the binary stream.
+const (
+	frameRecord    = 'r'
+	frameHeartbeat = 'h'
+)
+
+// DefaultHeartbeat is the idle heartbeat period of a replication stream.
+const DefaultHeartbeat = time.Second
+
+// streamWriteTimeout bounds each write of the stream; it is re-armed per
+// write, so an alive stream outlives the HTTP server's global WriteTimeout
+// while a stuck peer is still cut off.
+const streamWriteTimeout = 30 * time.Second

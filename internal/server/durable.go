@@ -67,9 +67,10 @@ func (s *Server) tenantOnDisk(id string) bool {
 // constructed but before the tenant serves its first request.
 func (s *Server) openTenantJournal(t *tenantState) error {
 	j, rec, err := wal.Open(s.tenantWALDir(t.id), wal.Options{
-		Fsync:   s.cfg.Fsync,
-		Metrics: s.met.reg,
-		Labels:  []obs.Label{obs.L("tenant", t.id)},
+		Fsync:        s.cfg.Fsync,
+		SegmentBytes: s.cfg.SegmentBytes,
+		Metrics:      s.met.reg,
+		Labels:       []obs.Label{obs.L("tenant", t.id)},
 	})
 	if err != nil {
 		return fmt.Errorf("server: opening journal for tenant %q: %w", t.id, err)
@@ -100,75 +101,108 @@ func (s *Server) openTenantJournal(t *tenantState) error {
 // counter delta and never double-applies a half-recorded request.
 func (s *Server) replayTenant(t *tenantState, rec *wal.Recovery) error {
 	if rec.Snapshot != nil {
-		var snap tenantSnapshot
-		if err := json.Unmarshal(rec.Snapshot, &snap); err != nil {
-			return fmt.Errorf("decoding snapshot: %w", err)
-		}
-		if snap.Estimator != nil {
-			u, ok := t.est.(stateUnmarshaler)
-			if !ok {
-				return errors.New("snapshot carries estimator state but the estimator cannot restore it")
-			}
-			if err := u.UnmarshalState(snap.Estimator); err != nil {
-				return err
-			}
-		}
-		if err := t.engine.RestoreState(snap.Engine); err != nil {
+		if err := s.restoreSnapshot(t, rec.Snapshot); err != nil {
 			return err
 		}
-		t.accesses.Store(snap.Accesses)
-		t.alerts.Store(snap.Alerts)
-		t.warned.Store(snap.Warned)
-		t.quits.Store(snap.Quits)
-		for _, emp := range snap.Flagged {
-			t.flagged[emp] = true
-		}
-		t.closed = snap.Closed
 	}
 	for _, r := range rec.Tail {
-		switch r.Kind {
-		case wal.KindDecision:
-			// A decision record is one full acknowledged /v1/access request
-			// of a gamed alert: one access, one alert, and the engine's
-			// committed decision (recorded signal, recorded budget chain).
-			if err := t.engine.ApplyDecision(r.Decision); err != nil {
-				return err
-			}
-			t.accesses.Add(1)
-			t.alerts.Add(1)
-			if r.Decision.Warned {
-				t.warned.Add(1)
-			}
-		case wal.KindMeta:
-			// One acknowledged request that bypassed the engine.
-			t.accesses.Add(1)
-			if r.Meta.Alerted {
-				t.alerts.Add(1)
-			}
-			if r.Meta.Warned {
-				t.warned.Add(1)
-			}
-		case wal.KindQuit:
-			if !t.flagged[r.Employee] {
-				t.flagged[r.Employee] = true
-				t.quits.Add(1)
-			}
-		case wal.KindCycleOpen:
-			if err := t.engine.NewCycle(r.Budget); err != nil {
-				return err
-			}
-			t.closed = false
-			t.accesses.Store(0)
-			t.alerts.Store(0)
-			t.warned.Store(0)
-			t.quits.Store(0)
-		case wal.KindCycleClose:
-			t.closed = true
-		default:
-			return fmt.Errorf("unknown journal record kind %v", r.Kind)
+		if err := s.applyRecord(t, r); err != nil {
+			return err
 		}
 	}
+	t.flaggedMu.RLock()
+	flagged := len(t.flagged)
+	t.flaggedMu.RUnlock()
+	t.met.flagged.Set(float64(flagged))
+	return nil
+}
+
+// restoreSnapshot decodes one snapshot blob onto t. The engine must be
+// pristine (core.RestoreState enforces it): boot replay calls this before
+// the tenant serves, and a follower only applies a snapshot as the very
+// first record of a seed.
+func (s *Server) restoreSnapshot(t *tenantState, blob []byte) error {
+	var snap tenantSnapshot
+	if err := json.Unmarshal(blob, &snap); err != nil {
+		return fmt.Errorf("decoding snapshot: %w", err)
+	}
+	if snap.Estimator != nil {
+		u, ok := t.est.(stateUnmarshaler)
+		if !ok {
+			return errors.New("snapshot carries estimator state but the estimator cannot restore it")
+		}
+		if err := u.UnmarshalState(snap.Estimator); err != nil {
+			return err
+		}
+	}
+	if err := t.engine.RestoreState(snap.Engine); err != nil {
+		return err
+	}
+	t.accesses.Store(snap.Accesses)
+	t.alerts.Store(snap.Alerts)
+	t.warned.Store(snap.Warned)
+	t.quits.Store(snap.Quits)
+	t.flaggedMu.Lock()
+	for _, emp := range snap.Flagged {
+		t.flagged[emp] = true
+	}
 	t.met.flagged.Set(float64(len(t.flagged)))
+	t.flaggedMu.Unlock()
+	t.closed = snap.Closed
+	return nil
+}
+
+// applyRecord replays one non-snapshot journal record onto t — shared by
+// boot recovery and live follower apply, so both walk the identical state
+// machine. Counter semantics mirror the handlers that wrote each record.
+func (s *Server) applyRecord(t *tenantState, r wal.Record) error {
+	switch r.Kind {
+	case wal.KindDecision:
+		// A decision record is one full acknowledged /v1/access request
+		// of a gamed alert: one access, one alert, and the engine's
+		// committed decision (recorded signal, recorded budget chain).
+		if err := t.engine.ApplyDecision(r.Decision); err != nil {
+			return err
+		}
+		t.accesses.Add(1)
+		t.alerts.Add(1)
+		if r.Decision.Warned {
+			t.warned.Add(1)
+		}
+	case wal.KindMeta:
+		// One acknowledged request that bypassed the engine.
+		t.accesses.Add(1)
+		if r.Meta.Alerted {
+			t.alerts.Add(1)
+		}
+		if r.Meta.Warned {
+			t.warned.Add(1)
+		}
+	case wal.KindQuit:
+		t.flaggedMu.Lock()
+		first := !t.flagged[r.Employee]
+		if first {
+			t.flagged[r.Employee] = true
+			t.met.flagged.Set(float64(len(t.flagged)))
+		}
+		t.flaggedMu.Unlock()
+		if first {
+			t.quits.Add(1)
+		}
+	case wal.KindCycleOpen:
+		if err := t.engine.NewCycle(r.Budget); err != nil {
+			return err
+		}
+		t.closed = false
+		t.accesses.Store(0)
+		t.alerts.Store(0)
+		t.warned.Store(0)
+		t.quits.Store(0)
+	case wal.KindCycleClose:
+		t.closed = true
+	default:
+		return fmt.Errorf("unknown journal record kind %v", r.Kind)
+	}
 	return nil
 }
 
@@ -254,6 +288,12 @@ func (s *Server) snapshotTenant(t *tenantState) error {
 	}
 	s.lockLifecycleW(t)
 	defer t.lifecycle.Unlock()
+	if t.sealed {
+		// Eviction won the race: the tenant's final state is already
+		// snapshotted into the sealed journal, which is everything this
+		// call exists to guarantee.
+		return nil
+	}
 	return s.snapshotTenantLocked(t)
 }
 
@@ -326,19 +366,25 @@ func (s *Server) RemoveTenant(id string) bool {
 
 // evictTenant is the shard.Config.OnEvict hook: drain, snapshot, seal. It
 // runs under the router's creation lock with the tenant already unlinked,
-// so no new request can reach it; the lifecycle write lock drains the ones
-// already holding it.
+// so no new request can resolve it; the lifecycle write lock drains the
+// ones already holding it, and the sealed flag (set under the same lock)
+// diverts requests that resolved the holder before the unlink but have not
+// locked it yet — they re-resolve and rebuild from the sealed journal
+// instead of writing into it.
 func (s *Server) evictTenant(tn *shard.Tenant) {
 	t := tn.Data.(*tenantState)
 	if t.journal == nil {
 		return
 	}
-	if err := s.snapshotTenant(t); err != nil {
+	s.lockLifecycleW(t)
+	defer t.lifecycle.Unlock()
+	if err := s.snapshotTenantLocked(t); err != nil {
 		s.logf("server: tenant %s: eviction snapshot: %v", t.id, err)
 	}
 	if err := t.journal.Close(); err != nil {
 		s.logf("server: tenant %s: sealing journal: %v", t.id, err)
 	}
+	t.sealed = true
 }
 
 // SnapshotRequest is the body of POST /v1/admin/snapshot. An empty tenant
@@ -356,6 +402,9 @@ type SnapshotResponse struct {
 // (or all, when none is named) so an operator can bound replay length
 // before a planned restart. 400 when the server runs without a data dir.
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.rejectIfFollowing(w) {
+		return
+	}
 	if !s.durable() {
 		writeJSON(w, http.StatusBadRequest,
 			apiError{Error: "durability is disabled (server started without a data dir)"})
@@ -406,10 +455,11 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 // of the current cycle — the same summary the drain path logs — so restart
 // drills can compare recovered state against a golden run byte for byte.
 func (s *Server) handleCycleSummary(w http.ResponseWriter, r *http.Request) {
-	t := s.resolveTenant(w, s.tenantID(r, r.URL.Query().Get("tenant")), false)
+	t := s.resolveTenantLocked(w, s.tenantID(r, r.URL.Query().Get("tenant")), false, false)
 	if t == nil {
 		return
 	}
+	defer t.lifecycle.RUnlock()
 	writeJSON(w, http.StatusOK, t.engine.Summary())
 }
 

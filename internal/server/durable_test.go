@@ -48,42 +48,7 @@ func (l *logBuf) contains(sub string) bool {
 // models a process restart.
 func durableFixture(t *testing.T, dir string, logs *logBuf) (*Server, *httptest.Server, int, int) {
 	t.Helper()
-	world, err := emr.NewWorld(emr.WorldConfig{Seed: 5, Employees: 30, Patients: 100, Departments: 4})
-	if err != nil {
-		t.Fatal(err)
-	}
-	bgE, bgP := world.NumEmployees(), world.NumPatients()
-	if _, err := emr.NewGenerator(world, emr.GeneratorConfig{Seed: 5, PairsPerKind: 3, BackgroundPerDay: 1}); err != nil {
-		t.Fatal(err)
-	}
-	inst, err := sim.Table1Instance(sim.AllTable1TypeIDs())
-	if err != nil {
-		t.Fatal(err)
-	}
-	cfg := Config{
-		World:    world,
-		Taxonomy: alerts.NewTable1Taxonomy(),
-		TypeIDs:  sim.AllTable1TypeIDs(),
-		Instance: inst,
-		Budget:   50,
-		Estimator: core.EstimatorFunc(func(time.Duration) ([]float64, error) {
-			return []float64{196.57, 29.02, 140.46, 10.84, 25.43, 15.14, 43.27}, nil
-		}),
-		Seed:    1,
-		Clock:   func() time.Duration { return 9 * time.Hour },
-		DataDir: dir,
-		Fsync:   wal.FsyncAlways,
-	}
-	if logs != nil {
-		cfg.Logf = logs.logf
-	}
-	srv, err := New(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ts := httptest.NewServer(srv.Handler())
-	t.Cleanup(ts.Close)
-	return srv, ts, bgE, bgP
+	return replicaFixture(t, dir, logs, nil)
 }
 
 // getRaw fetches a path and returns the raw body for byte-level comparison.

@@ -154,6 +154,20 @@ type Config struct {
 	// per tenant; zero selects DefaultSnapshotEvery. Only meaningful with
 	// DataDir.
 	SnapshotEvery int
+	// SegmentBytes overrides the journal segment roll size; zero keeps
+	// wal.DefaultSegmentBytes. Only meaningful with DataDir. Drills shrink
+	// it to force segment rolls (and snapshot pruning) quickly.
+	SegmentBytes int64
+	// FollowPrimary, when non-empty, starts the server as a hot standby of
+	// the primary at this base URL: every durable tenant is replicated via
+	// WAL log shipping (see internal/replica), reads are served from the
+	// warm engines, and every mutation answers 503 until POST
+	// /v1/admin/promote. Requires DataDir.
+	FollowPrimary string
+	// FollowerReadyLag is the catch-up threshold for a follower's readiness
+	// probe: /v1/readyz answers 200 only once every replicated tenant's lag
+	// is at or below this many records (default 0 — fully caught up).
+	FollowerReadyLag int
 	// Logf receives server log lines (recovery banners, truncation notices,
 	// eviction traces). Nil disables logging.
 	Logf func(format string, args ...any)
@@ -185,6 +199,11 @@ type tenantState struct {
 
 	lifecycle sync.RWMutex
 	closed    bool // cycle closed, awaiting /v1/cycle/new; guarded by lifecycle
+	// sealed is set (under lifecycle) when eviction has snapshotted the
+	// tenant and closed its journal. A request that resolved this holder
+	// before the router unlinked it must not use it — re-resolving rebuilds
+	// the tenant from the sealed journal (see resolveTenantLocked).
+	sealed bool
 
 	flaggedMu sync.RWMutex
 	flagged   map[int]bool
@@ -196,6 +215,22 @@ type tenantState struct {
 
 	walRecords   atomic.Int64 // journal records since the last snapshot
 	snapshotting atomic.Bool  // one background snapshot at a time
+
+	// repl is the follower-side replication position recovered from the
+	// tenant's mirrored journal at build time, and written back by the
+	// replication client when it stops (synchronized by the follow
+	// controller's WaitGroup; promotion reads it after the clients exit).
+	repl replState
+}
+
+// replState is a tenant's replication resume position: where its mirrored
+// journal ends, the checksum proving it, and whether the warm engine has
+// been seeded with applied state.
+type replState struct {
+	cur     wal.Cursor
+	crc     uint32
+	records int64
+	seeded  bool
 }
 
 // Server is the HTTP facade. Create with New and mount via Handler.
@@ -208,6 +243,11 @@ type Server struct {
 	defaultID string
 	maxBody   int64
 	ready     atomic.Bool
+
+	// following is true while the server is a replicating standby; flipped
+	// false (permanently) by Promote. Mutation handlers gate on it.
+	following atomic.Bool
+	follow    atomic.Pointer[followController] // set by StartFollowing
 }
 
 // New validates the configuration and builds the server. The default
@@ -234,6 +274,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = defaultMaxBodyBytes
+	}
+	if cfg.FollowPrimary != "" && cfg.DataDir == "" {
+		return nil, errors.New("server: following a primary requires a data dir")
 	}
 	detector, err := alerts.NewEngine(cfg.World, cfg.Taxonomy)
 	if err != nil {
@@ -262,6 +305,9 @@ func New(cfg Config) (*Server, error) {
 		defaultID: cfg.DefaultTenant,
 		maxBody:   cfg.MaxBodyBytes,
 	}
+	// Set before the first buildTenant call: follower tenants recover their
+	// local mirror instead of opening a writable journal.
+	s.following.Store(cfg.FollowPrimary != "")
 	s.router, err = shard.NewRouter(shard.Config{
 		New:         s.buildTenant,
 		MaxTenants:  cfg.MaxTenants,
@@ -307,11 +353,16 @@ func (s *Server) buildTenant(id string) (*core.Engine, any, error) {
 	// tenant's journal (the engine calls it under its budget lock, in commit
 	// order, and awaits the returned group-commit wait after unlocking).
 	// t.journal is set by openTenantJournal before the router publishes the
-	// tenant, so the hook never observes a nil journal from a request.
+	// tenant — except on a follower, where it stays nil until Promote opens
+	// it; the mutation gate keeps decisions out until then.
 	var journalFn core.JournalFunc
 	if s.durable() {
 		journalFn = func(rec core.DecisionRecord) (func() error, error) {
-			wait, err := t.journal.Append(wal.Record{Kind: wal.KindDecision, Decision: rec})
+			j := t.journal
+			if j == nil {
+				return nil, errors.New("server: tenant journal not open (standby not promoted)")
+			}
+			wait, err := j.Append(wal.Record{Kind: wal.KindDecision, Decision: rec})
 			if err != nil {
 				return nil, err
 			}
@@ -344,7 +395,15 @@ func (s *Server) buildTenant(id string) (*core.Engine, any, error) {
 		return nil, nil, err
 	}
 	t.engine = engine
-	if s.durable() {
+	switch {
+	case s.durable() && s.following.Load():
+		// Follower: recover whatever the mirror already holds so the engine
+		// is warm, but leave the journal closed — the replication client owns
+		// the directory until Promote.
+		if err := s.recoverTenantLocal(t); err != nil {
+			return nil, nil, err
+		}
+	case s.durable():
 		// Open (and recover) the tenant's journal before the router publishes
 		// the tenant: a restart restores the snapshot + replays the tail, so
 		// the first request after boot continues the interrupted cycle.
@@ -513,8 +572,39 @@ func (s *Server) Handler() http.Handler {
 	root := http.NewServeMux()
 	root.Handle("GET /v1/healthz", http.HandlerFunc(s.handleHealthz))
 	root.Handle("GET /v1/readyz", http.HandlerFunc(s.handleReadyz))
+	// The replication stream is unbounded and must not pass through
+	// http.TimeoutHandler (which buffers the whole response) or the panic
+	// middleware's deferred write; promote rides alongside it so a follower
+	// can be promoted even when the API wrapper is saturated.
+	root.Handle("GET /v1/replicate", http.HandlerFunc(s.handleReplicate))
+	root.Handle("POST /v1/admin/promote", http.HandlerFunc(s.handlePromote))
 	root.Handle("/", api)
-	return root
+	return retryAfter(root)
+}
+
+// retryAfterWriter stamps backpressure responses (429 tenant limit, 503
+// draining / request timeout / standby) with a Retry-After hint so
+// well-behaved clients back off instead of hammering.
+type retryAfterWriter struct {
+	http.ResponseWriter
+}
+
+func (w *retryAfterWriter) WriteHeader(code int) {
+	if (code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable) &&
+		w.Header().Get("Retry-After") == "" {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer, so the
+// replication stream's per-write deadlines and flushes work through the wrap.
+func (w *retryAfterWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+func retryAfter(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h.ServeHTTP(&retryAfterWriter{ResponseWriter: w}, r)
+	})
 }
 
 // handleHealthz is the liveness probe: the process is up and serving.
@@ -525,7 +615,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleReadyz is the readiness probe: 200 while accepting traffic, 503
-// once graceful shutdown has begun (see SetReady).
+// once graceful shutdown has begun (see SetReady). On a follower it reports
+// replication catch-up instead: {"status":"following","lag_records":N},
+// flipping 200 only once every tenant's lag is at or below
+// Config.FollowerReadyLag.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if !s.ready.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, struct {
@@ -533,9 +626,32 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		}{Status: "draining"})
 		return
 	}
+	if s.following.Load() {
+		lag, known := s.follow.Load().maxLag()
+		code := http.StatusOK
+		if !known || lag > int64(s.cfg.FollowerReadyLag) {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, struct {
+			Status     string `json:"status"`
+			LagRecords int64  `json:"lag_records"`
+		}{Status: "following", LagRecords: lag})
+		return
+	}
 	writeJSON(w, http.StatusOK, struct {
 		Status string `json:"status"`
 	}{Status: "ready"})
+}
+
+// rejectIfFollowing answers 503 for mutations while the server is a standby;
+// reads stay available so operators can inspect catch-up state.
+func (s *Server) rejectIfFollowing(w http.ResponseWriter) bool {
+	if !s.following.Load() {
+		return false
+	}
+	writeJSON(w, http.StatusServiceUnavailable,
+		apiError{Error: "standby follower: mutations are rejected until POST /v1/admin/promote"})
+	return true
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -617,6 +733,38 @@ func (s *Server) resolveTenant(w http.ResponseWriter, id string, create bool) *t
 	return t
 }
 
+// resolveTenantLocked resolves id and acquires its lifecycle lock (write
+// when write is set, read otherwise), retrying when the tenant was evicted
+// between resolution and the lock: the sealed holder is already unlinked
+// from the router, so the retry rebuilds the tenant from its journal. On
+// success the caller owns the lock (RUnlock/Unlock to release); nil means
+// the error response was already written. The bound exists only to turn a
+// pathological eviction storm into a retryable 503 instead of a spin.
+func (s *Server) resolveTenantLocked(w http.ResponseWriter, id string, create, write bool) *tenantState {
+	for attempt := 0; attempt < 16; attempt++ {
+		t := s.resolveTenant(w, id, create)
+		if t == nil {
+			return nil
+		}
+		if write {
+			s.lockLifecycleW(t)
+		} else {
+			s.lockLifecycleR(t)
+		}
+		if !t.sealed {
+			return t
+		}
+		if write {
+			t.lifecycle.Unlock()
+		} else {
+			t.lifecycle.RUnlock()
+		}
+	}
+	writeJSON(w, http.StatusServiceUnavailable,
+		apiError{Error: fmt.Sprintf("tenant %q is being evicted; retry", id)})
+	return nil
+}
+
 // lockLifecycleR / lockLifecycleW acquire one tenant's lifecycle lock,
 // observing the wait in sag_http_lock_wait_seconds so re-serialization
 // regressions show up on dashboards before they show up as latency.
@@ -633,18 +781,20 @@ func (s *Server) lockLifecycleW(t *tenantState) {
 }
 
 func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request) {
-	var req AccessRequest
-	if !s.decodeJSON(w, r, &req) {
+	if s.rejectIfFollowing(w) {
 		return
 	}
-	t := s.resolveTenant(w, s.tenantID(r, req.Tenant), true)
-	if t == nil {
+	var req AccessRequest
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	// Read side only: any number of access decisions overlap; the solve
 	// itself runs under the engine's optimistic-commit protocol, not under
 	// any server lock.
-	s.lockLifecycleR(t)
+	t := s.resolveTenantLocked(w, s.tenantID(r, req.Tenant), true, false)
+	if t == nil {
+		return
+	}
 	defer t.lifecycle.RUnlock()
 	if t.closed {
 		writeJSON(w, http.StatusConflict, apiError{Error: "audit cycle is closed; POST /v1/cycle/new to start the next one"})
@@ -733,15 +883,17 @@ func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleQuit(w http.ResponseWriter, r *http.Request) {
+	if s.rejectIfFollowing(w) {
+		return
+	}
 	var req QuitRequest
 	if !s.decodeJSON(w, r, &req) {
 		return
 	}
-	t := s.resolveTenant(w, s.tenantID(r, req.Tenant), true)
+	t := s.resolveTenantLocked(w, s.tenantID(r, req.Tenant), true, false)
 	if t == nil {
 		return
 	}
-	s.lockLifecycleR(t)
 	defer t.lifecycle.RUnlock()
 	if req.EmployeeID < 0 || req.EmployeeID >= len(s.cfg.World.Employees) {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: fmt.Sprintf("unknown employee %d", req.EmployeeID)})
@@ -772,21 +924,23 @@ func (s *Server) handleQuit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
+	if s.rejectIfFollowing(w) {
+		return
+	}
 	// The close itself takes no parameters; the body is decoded only for
 	// its optional tenant field and malformed bodies are deliberately
 	// tolerated (callers historically POST empty or junk bodies here).
 	var req CloseRequest
 	_ = json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody)).Decode(&req)
 	// Closing must not create: an unknown tenant has no cycle to close.
-	t := s.resolveTenant(w, s.tenantID(r, req.Tenant), false)
-	if t == nil {
-		return
-	}
 	// Write side: wait for this tenant's in-flight decisions, then freeze
 	// the cycle. A second close is a conflict — re-sampling would draw a
 	// fresh audit plan (and re-charge its total) for a cycle that already
 	// has one.
-	s.lockLifecycleW(t)
+	t := s.resolveTenantLocked(w, s.tenantID(r, req.Tenant), false, true)
+	if t == nil {
+		return
+	}
 	defer t.lifecycle.Unlock()
 	if t.closed {
 		writeJSON(w, http.StatusConflict, apiError{Error: "audit cycle already closed; POST /v1/cycle/new to start the next one"})
@@ -806,15 +960,17 @@ func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleNewCycle(w http.ResponseWriter, r *http.Request) {
+	if s.rejectIfFollowing(w) {
+		return
+	}
 	var req NewCycleRequest
 	if !s.decodeJSON(w, r, &req) {
 		return
 	}
-	t := s.resolveTenant(w, s.tenantID(r, req.Tenant), true)
+	t := s.resolveTenantLocked(w, s.tenantID(r, req.Tenant), true, true)
 	if t == nil {
 		return
 	}
-	s.lockLifecycleW(t)
 	defer t.lifecycle.Unlock()
 	if err := t.engine.NewCycle(req.Budget); err != nil {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
@@ -837,11 +993,10 @@ func (s *Server) handleNewCycle(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	// GET carries no body; the query parameter stands in for it.
-	t := s.resolveTenant(w, s.tenantID(r, r.URL.Query().Get("tenant")), false)
+	t := s.resolveTenantLocked(w, s.tenantID(r, r.URL.Query().Get("tenant")), false, false)
 	if t == nil {
 		return
 	}
-	s.lockLifecycleR(t)
 	closed := t.closed
 	t.lifecycle.RUnlock()
 	t.flaggedMu.RLock()

@@ -34,7 +34,14 @@ type Recovery struct {
 	// was truncated to the offset, and any later segments were deleted.
 	TruncatedSegment string
 	TruncatedOffset  int64
-	nextSeq          int
+	// End is the cursor just past the last valid record — the position a
+	// replication client resumes from. Zero when the journal is empty.
+	End Cursor
+	// LastCRC is the stored checksum of the record ending at End (zero when
+	// the journal is empty); the resume handshake presents it so the source
+	// can prove the histories match before streaming.
+	LastCRC uint32
+	nextSeq int
 }
 
 // Recover scans dir's segments in order and reconstructs the journal's
@@ -61,6 +68,9 @@ func Recover(dir string) (*Recovery, error) {
 			rec.nextSeq = n + 1
 		}
 		validEnd, scanErr := scanSegment(seg, rec)
+		if validEnd > headerSize {
+			rec.End = Cursor{Seg: n, Off: validEnd}
+		}
 		if scanErr == nil {
 			continue
 		}
@@ -133,6 +143,7 @@ func scanSegment(path string, rec *Recovery) (validEnd int64, err error) {
 			return off, fmt.Errorf("%w: %v in %s@%d", ErrCorrupt, derr, path, off)
 		}
 		rec.fold(r)
+		rec.LastCRC = want
 		off += total
 		buf = buf[total:]
 	}

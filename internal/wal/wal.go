@@ -153,6 +153,12 @@ type Journal struct {
 	pending []chan error // FsyncAlways waiters for the next sync
 	encBuf  []byte
 
+	records        int64  // total valid records (recovered + appended)
+	durable        Cursor // position up to which the journal is safely readable
+	durableRecords int64  // records within the durable prefix
+	subs           map[int]chan struct{}
+	nextSubID      int
+
 	syncReq chan struct{}
 	done    chan struct{}
 	wg      sync.WaitGroup
@@ -179,6 +185,8 @@ func Open(dir string, opts Options) (*Journal, *Recovery, error) {
 		dir:       dir,
 		opts:      opts,
 		seq:       rec.nextSeq,
+		records:   int64(rec.Records),
+		subs:      make(map[int]chan struct{}),
 		syncReq:   make(chan struct{}, 1),
 		done:      make(chan struct{}),
 		appends:   opts.Metrics.Counter(MetricAppendsTotal, "Journal records appended.", opts.Labels...),
@@ -188,6 +196,11 @@ func Open(dir string, opts Options) (*Journal, *Recovery, error) {
 	if err := j.openSegmentLocked(); err != nil {
 		return nil, nil, err
 	}
+	// Everything recovered is already on disk, and the fresh segment's
+	// header was flushed by openSegmentLocked, so readers (replication
+	// streams) may start from the very first retained frame.
+	j.durable = Cursor{Seg: j.seq, Off: headerSize}
+	j.durableRecords = j.records
 	j.wg.Add(1)
 	go j.syncer()
 	return j, rec, nil
@@ -244,6 +257,12 @@ func (j *Journal) openSegmentLocked() error {
 	if err := j.bw.WriteByte(version); err != nil {
 		return err
 	}
+	// Flush the header so the file is immediately parsable by direct
+	// readers (cursor validation, replication streams); the fsync that
+	// makes it durable rides on the next group commit.
+	if err := j.bw.Flush(); err != nil {
+		return err
+	}
 	j.written = headerSize
 	j.dirty = true
 	return syncDir(j.dir)
@@ -290,7 +309,61 @@ func (j *Journal) sealLocked() error {
 	}
 	j.fsyncSec.ObserveSince(t0)
 	j.dirty = false
+	j.advanceDurableLocked(Cursor{Seg: j.seq, Off: j.written}, j.records)
 	return j.f.Close()
+}
+
+// advanceDurableLocked moves the durable cursor forward (never backward —
+// a group commit that raced a segment roll may report a stale position) and
+// wakes every subscriber. The caller holds mu.
+func (j *Journal) advanceDurableLocked(end Cursor, nrecs int64) {
+	if !j.durable.Less(end) {
+		return
+	}
+	j.durable = end
+	if nrecs > j.durableRecords {
+		j.durableRecords = nrecs
+	}
+	for _, ch := range j.subs {
+		select {
+		case ch <- struct{}{}:
+		default: // subscriber already has a pending wake
+		}
+	}
+}
+
+// DurableCursor returns the position up to which the journal's on-disk
+// contents are complete and safely readable: under FsyncAlways/FsyncInterval
+// it advances after each fsync, under FsyncNone after each flush.
+func (j *Journal) DurableCursor() Cursor {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.durable
+}
+
+// DurableRecords returns how many records the durable prefix holds
+// (recovered records included).
+func (j *Journal) DurableRecords() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.durableRecords
+}
+
+// Subscribe returns a channel that receives a (coalesced) signal whenever
+// the durable cursor advances, plus a cancel function releasing the
+// subscription. Replication streams park on it instead of polling.
+func (j *Journal) Subscribe() (<-chan struct{}, func()) {
+	ch := make(chan struct{}, 1)
+	j.mu.Lock()
+	id := j.nextSubID
+	j.nextSubID++
+	j.subs[id] = ch
+	j.mu.Unlock()
+	return ch, func() {
+		j.mu.Lock()
+		delete(j.subs, id)
+		j.mu.Unlock()
+	}
 }
 
 // appendLocked frames and writes one record payload into the active
@@ -324,6 +397,7 @@ func (j *Journal) appendLocked(r Record) error {
 	}
 	j.written += int64(n + len(payload) + 4)
 	j.dirty = true
+	j.records++
 	j.appends.Inc()
 	return nil
 }
@@ -369,7 +443,10 @@ func (j *Journal) syncer() {
 	defer j.wg.Done()
 	var tick *time.Ticker
 	var tickC <-chan time.Time
-	if j.opts.Fsync == FsyncInterval {
+	if j.opts.Fsync == FsyncInterval || j.opts.Fsync == FsyncNone {
+		// FsyncNone ticks too: syncOnce then only flushes (no fsync), so
+		// buffered records still become readable — and therefore
+		// replicable — on a bounded delay.
 		tick = time.NewTicker(j.opts.Interval)
 		tickC = tick.C
 		defer tick.Stop()
@@ -402,13 +479,20 @@ func (j *Journal) syncOnce() {
 	j.pending = nil
 	err := j.bw.Flush()
 	f := j.f
+	end := Cursor{Seg: j.seq, Off: j.written}
+	nrecs := j.records
 	j.dirty = false
 	j.mu.Unlock()
 
-	if err == nil {
+	if err == nil && j.opts.Fsync != FsyncNone {
 		t0 := time.Now()
 		err = f.Sync()
 		j.fsyncSec.ObserveSince(t0)
+	}
+	if err == nil {
+		j.mu.Lock()
+		j.advanceDurableLocked(end, nrecs)
+		j.mu.Unlock()
 	}
 	for _, ch := range waiters {
 		ch <- err
@@ -430,6 +514,8 @@ func (j *Journal) Snapshot(blob []byte) error {
 	snapSeg := j.seq
 	err := j.bw.Flush()
 	f := j.f
+	end := Cursor{Seg: j.seq, Off: j.written}
+	nrecs := j.records
 	j.dirty = false
 	j.mu.Unlock()
 	if err != nil {
@@ -440,6 +526,9 @@ func (j *Journal) Snapshot(blob []byte) error {
 		return err
 	}
 	j.fsyncSec.ObserveSince(t0)
+	j.mu.Lock()
+	j.advanceDurableLocked(end, nrecs)
+	j.mu.Unlock()
 	j.snapBytes.Set(float64(len(blob)))
 	return j.pruneBefore(snapSeg)
 }
@@ -479,12 +568,20 @@ func (j *Journal) Sync() error {
 	}
 	err := j.bw.Flush()
 	f := j.f
+	end := Cursor{Seg: j.seq, Off: j.written}
+	nrecs := j.records
 	j.dirty = false
 	j.mu.Unlock()
 	if err != nil {
 		return err
 	}
-	return f.Sync()
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	j.mu.Lock()
+	j.advanceDurableLocked(end, nrecs)
+	j.mu.Unlock()
+	return nil
 }
 
 // Close seals the active segment and stops the syncer. Further appends
