@@ -23,6 +23,7 @@ import (
 	"time"
 
 	sag "github.com/auditgames/sag"
+	"github.com/auditgames/sag/internal/admit"
 	"github.com/auditgames/sag/internal/alerts"
 	"github.com/auditgames/sag/internal/dist"
 	"github.com/auditgames/sag/internal/emr"
@@ -63,6 +64,12 @@ func instantVacuousSolver(ctx context.Context, inst *game.Instance, budget float
 // world. solve overrides the SSE solver (nil = the real LP pipeline);
 // estimate overrides the estimator (nil = instant fixed Table 1 rates).
 func newBenchServerHandler(b *testing.B, cache sag.CacheConfig, solve sag.SSESolveFunc, estimate func(time.Duration) ([]float64, error)) (http.Handler, int, int) {
+	return newBenchServerHandlerMod(b, cache, solve, estimate, nil)
+}
+
+// newBenchServerHandlerMod is newBenchServerHandler with a Config hook, for
+// benchmarks that need non-default serving knobs (admission control).
+func newBenchServerHandlerMod(b *testing.B, cache sag.CacheConfig, solve sag.SSESolveFunc, estimate func(time.Duration) ([]float64, error), mod func(*server.Config)) (http.Handler, int, int) {
 	b.Helper()
 	world, err := emr.NewWorld(emr.WorldConfig{Seed: 5, Employees: 30, Patients: 100, Departments: 4})
 	if err != nil {
@@ -84,7 +91,7 @@ func newBenchServerHandler(b *testing.B, cache sag.CacheConfig, solve sag.SSESol
 			return out, nil
 		}
 	}
-	srv, err := server.New(server.Config{
+	cfg := server.Config{
 		World:     world,
 		Taxonomy:  alerts.NewTable1Taxonomy(),
 		TypeIDs:   sim.AllTable1TypeIDs(),
@@ -95,7 +102,11 @@ func newBenchServerHandler(b *testing.B, cache sag.CacheConfig, solve sag.SSESol
 		Cache:     cache,
 		Clock:     func() time.Duration { return 9 * time.Hour },
 		SSESolve:  solve,
-	})
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -263,4 +274,98 @@ func BenchmarkServerConcurrentAccessSerialized(b *testing.B) {
 	h, bgE, bgP := newBenchServerHandler(b, sag.CacheConfig{}, slowVacuousSolver, nil)
 	bodies := accessBodies(bgE, bgP)
 	runConcurrentAccess(b, serialized(h), bodies)
+}
+
+// benchTenantAccess fires one access pinned to tenant and reports the status
+// plus whether a Retry-After header came back.
+func benchTenantAccess(h http.Handler, tenant string, body []byte) (code int, retryAfter string) {
+	req := httptest.NewRequest(http.MethodPost, "/v1/access", bytes.NewReader(body))
+	req.Header.Set(server.TenantHeader, tenant)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Result().Header.Get("Retry-After")
+}
+
+// BenchmarkServerOverload is the admission-control regression gate: 8
+// unpaced greedy clients flood one tenant at several times its admitted rate
+// while 3 polite tenants run one closed-loop client each, every decision
+// costing a benchSolveLatency solve. b.N counts POLITE requests — ns/op is
+// the latency a polite tenant sees while a neighbor floods the box. The
+// benchmark fails if the polite tenants are shed more than 5% or if the
+// greedy tenant is never shed: either way the fairness property the admit
+// layer exists for is gone. Watched by the CI benchgate.
+func BenchmarkServerOverload(b *testing.B) {
+	h, bgE, bgP := newBenchServerHandlerMod(b, sag.CacheConfig{}, slowVacuousSolver, nil,
+		func(cfg *server.Config) {
+			cfg.Admission = admit.Config{
+				// Rate 600/s with a 2ms solve admits well under the greedy
+				// flood (8 clients ≈ 3000+ req/s demand) but well over a
+				// single polite closed-loop client (≈ 450 req/s).
+				Rate:           600,
+				Burst:          60,
+				MaxInflight:    8,
+				TenantInflight: 2,
+				QueueDepth:     32,
+				MaxWait:        20 * time.Millisecond,
+			}
+		})
+	body := accessBodies(bgE, bgP)[0]
+
+	const politeTenantsN = 3
+	var (
+		stop                 atomic.Bool
+		politeNext           atomic.Int64
+		politeOK, politeShed atomic.Int64
+		greedyOK, greedyShed atomic.Int64
+	)
+	b.ResetTimer()
+	var greedyWG sync.WaitGroup
+	for w := 0; w < benchServerClients; w++ {
+		greedyWG.Add(1)
+		go func() {
+			defer greedyWG.Done()
+			for !stop.Load() {
+				if code, _ := benchTenantAccess(h, "greedy", body); code == http.StatusOK {
+					greedyOK.Add(1)
+				} else {
+					greedyShed.Add(1)
+				}
+			}
+		}()
+	}
+	var politeWG sync.WaitGroup
+	for p := 0; p < politeTenantsN; p++ {
+		politeWG.Add(1)
+		go func(p int) {
+			defer politeWG.Done()
+			tenant := fmt.Sprintf("polite-%d", p)
+			for politeNext.Add(1) <= int64(b.N) {
+				if code, _ := benchTenantAccess(h, tenant, body); code == http.StatusOK {
+					politeOK.Add(1)
+				} else {
+					politeShed.Add(1)
+				}
+			}
+		}(p)
+	}
+	politeWG.Wait()
+	stop.Store(true)
+	greedyWG.Wait()
+	b.StopTimer()
+
+	b.ReportMetric(float64(politeOK.Load())/b.Elapsed().Seconds(), "polite-req/s")
+	total := greedyOK.Load() + greedyShed.Load()
+	if total > 0 {
+		b.ReportMetric(float64(greedyShed.Load())/float64(total), "greedy-shed-ratio")
+	}
+	if n := politeOK.Load() + politeShed.Load(); n > 0 {
+		if ratio := float64(politeShed.Load()) / float64(n); ratio > 0.05 {
+			b.Fatalf("polite tenants shed %.1f%% (> 5%%): greedy flood starved polite traffic", 100*ratio)
+		}
+	}
+	// Short calibration runs may finish before the flood saturates the
+	// bucket; only a full-length run must observe greedy shedding.
+	if b.N >= 1000 && greedyShed.Load() == 0 {
+		b.Fatal("greedy tenant was never shed: admission control is not engaging under 5x overload")
+	}
 }

@@ -9,6 +9,15 @@
 //	sagload -url http://localhost:8080 -workers 8 -duration 10s
 //	sagload -self -workers 8 -duration 5s   # spin an in-process server
 //
+// The -overload arm drives the box past capacity on purpose: -workers
+// unpaced clients flood a single greedy tenant while -polite-tenants paced
+// clients each drive their own tenant, and the report shows whether
+// admission control kept the polite tenants' goodput intact while shedding
+// the greedy one with computed Retry-After hints:
+//
+//	sagload -self -overload -workers 8 -polite-tenants 3 -polite-rate 50 \
+//	        -max-inflight 4 -queue-depth 8 -duration 5s
+//
 // Each worker is pinned to one planted alert type: worker w posts the pair
 // (employee+stride·(w mod types), patient+stride·(w mod types)). The
 // defaults match sagserver's world (first planted pair 400/2000, 120 pairs
@@ -34,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/auditgames/sag/internal/admit"
 	"github.com/auditgames/sag/internal/alerts"
 	"github.com/auditgames/sag/internal/core"
 	"github.com/auditgames/sag/internal/emr"
@@ -60,12 +70,26 @@ func run() error {
 		budget         = flag.Float64("budget", 1e9, "audit budget for the in-process server (-self)")
 		tenants        = flag.Int("tenants", 0, "fan workers out across N tenants (load-0..load-N-1); 0 = default tenant only")
 		retryTransient = flag.Bool("retry-transient", true, "retry transient dial/reset errors with capped exponential backoff instead of counting them as failures (a restarting or failing-over server is not an error)")
+
+		overload      = flag.Bool("overload", false, "overload arm: -workers unpaced clients flood one greedy tenant while -polite-tenants paced clients each drive their own; reports per-tenant goodput, shed ratio, and Retry-After spread")
+		politeTenants = flag.Int("polite-tenants", 3, "paced polite tenants in the -overload arm")
+		politeRate    = flag.Float64("polite-rate", 50, "per-polite-tenant request rate in req/s in the -overload arm")
+
+		admitRate   = flag.Float64("rate", 0, "with -self: per-tenant admission rate in req/s (0 disables rate limiting)")
+		admitBurst  = flag.Float64("burst", 0, "with -self: per-tenant token-bucket depth (0 = max(1, rate))")
+		maxInflight = flag.Int("max-inflight", 0, "with -self: box-wide cap on concurrently admitted mutations (0 = uncapped)")
+		queueDepth  = flag.Int("queue-depth", 0, "with -self: box-wide admission queue bound (0 = no queue)")
 	)
 	flag.Parse()
 
+	residentTenants := *tenants
+	if *overload {
+		residentTenants = *politeTenants + 1
+	}
 	base := *url
 	if *self {
-		ts, bgE, bgP, err := selfServer(*budget, *tenants)
+		adm := admit.Config{Rate: *admitRate, Burst: *admitBurst, MaxInflight: *maxInflight, QueueDepth: *queueDepth}
+		ts, bgE, bgP, err := selfServer(*budget, residentTenants, adm)
 		if err != nil {
 			return err
 		}
@@ -73,6 +97,17 @@ func run() error {
 		base = ts.URL
 		*employee, *patient, *stride = bgE, bgP, 3
 		log.Printf("in-process server at %s (planted pairs from %d/%d, stride 3)", base, bgE, bgP)
+		if adm.Enabled() {
+			log.Printf("admission control on: rate=%g burst=%g max-inflight=%d queue-depth=%d", adm.Rate, adm.Burst, adm.MaxInflight, adm.QueueDepth)
+		}
+	}
+
+	if *overload {
+		body, err := json.Marshal(server.AccessRequest{EmployeeID: *employee, PatientID: *patient})
+		if err != nil {
+			return err
+		}
+		return runOverload(base, body, *workers, *politeTenants, *politeRate, *duration)
 	}
 
 	bodies := make([][]byte, *types)
@@ -209,6 +244,149 @@ func run() error {
 	return nil
 }
 
+// tenantResult accumulates one overload client's view of one tenant.
+type tenantResult struct {
+	tenant     string
+	attempted  int64
+	ok         int64
+	shed       int64 // 503s
+	other      int64 // non-200, non-503
+	errs       int64
+	lat        []time.Duration // successful requests only
+	retryAfter map[string]int  // distinct Retry-After hints on sheds
+}
+
+// overloadShot fires one access for a tenant and files the outcome.
+func overloadShot(client *http.Client, base string, body []byte, st *tenantResult) {
+	st.attempted++
+	t0 := time.Now()
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/access", bytes.NewReader(body))
+	if err != nil {
+		st.errs++
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(server.TenantHeader, st.tenant)
+	resp, err := client.Do(req)
+	if err != nil {
+		st.errs++
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		st.ok++
+		st.lat = append(st.lat, time.Since(t0))
+	case http.StatusServiceUnavailable:
+		st.shed++
+		if st.retryAfter == nil {
+			st.retryAfter = map[string]int{}
+		}
+		st.retryAfter[resp.Header.Get("Retry-After")]++
+	default:
+		st.other++
+	}
+}
+
+// runOverload is the -overload arm: `workers` unpaced clients flood the
+// "greedy" tenant while politeN paced clients each drive their own tenant at
+// politeRate req/s. The report is per-tenant goodput — the number the
+// admission layer exists to protect — plus the greedy tenant's shed ratio
+// and the spread of computed Retry-After hints.
+func runOverload(base string, body []byte, workers, politeN int, politeRate float64, dur time.Duration) error {
+	if politeN < 1 {
+		return errors.New("-overload needs -polite-tenants >= 1")
+	}
+	if politeRate <= 0 {
+		return errors.New("-overload needs -polite-rate > 0")
+	}
+	greedy := make([]tenantResult, workers)
+	polite := make([]tenantResult, politeN)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		greedy[w].tenant = "greedy"
+		wg.Add(1)
+		go func(st *tenantResult) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 30 * time.Second}
+			for !stop.Load() {
+				overloadShot(client, base, body, st)
+			}
+		}(&greedy[w])
+	}
+	for p := 0; p < politeN; p++ {
+		polite[p].tenant = fmt.Sprintf("polite-%d", p)
+		wg.Add(1)
+		go func(st *tenantResult) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 30 * time.Second}
+			tick := time.NewTicker(time.Duration(float64(time.Second) / politeRate))
+			defer tick.Stop()
+			for !stop.Load() {
+				overloadShot(client, base, body, st)
+				<-tick.C
+			}
+		}(&polite[p])
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var g tenantResult
+	g.tenant = "greedy"
+	g.retryAfter = map[string]int{}
+	for i := range greedy {
+		g.attempted += greedy[i].attempted
+		g.ok += greedy[i].ok
+		g.shed += greedy[i].shed
+		g.other += greedy[i].other
+		g.errs += greedy[i].errs
+		g.lat = append(g.lat, greedy[i].lat...)
+		for k, v := range greedy[i].retryAfter {
+			g.retryAfter[k] += v
+		}
+	}
+
+	fmt.Fprintf(os.Stdout, "overload arm   %d greedy clients vs %d polite tenants @ %g req/s each, %v\n",
+		workers, politeN, politeRate, elapsed.Round(time.Millisecond))
+	printTenant := func(st *tenantResult) {
+		sort.Slice(st.lat, func(i, j int) bool { return st.lat[i] < st.lat[j] })
+		line := fmt.Sprintf("  %-12s %8d sent  %8.1f ok/s  shed %5.1f%%", st.tenant, st.attempted,
+			float64(st.ok)/elapsed.Seconds(), 100*float64(st.shed)/float64(max(st.attempted, 1)))
+		if len(st.lat) > 0 {
+			line += fmt.Sprintf("  p50 %-10v p99 %-10v", pct(st.lat, 0.50).Round(time.Microsecond),
+				pct(st.lat, 0.99).Round(time.Microsecond))
+		}
+		if st.other+st.errs > 0 {
+			line += fmt.Sprintf("  (%d other non-200, %d transport errors)", st.other, st.errs)
+		}
+		fmt.Fprintln(os.Stdout, line)
+	}
+	printTenant(&g)
+	for p := range polite {
+		printTenant(&polite[p])
+	}
+	if len(g.retryAfter) > 0 {
+		hints := make([]string, 0, len(g.retryAfter))
+		for k := range g.retryAfter {
+			hints = append(hints, k)
+		}
+		sort.Strings(hints)
+		if len(hints) > 8 {
+			hints = hints[:8]
+		}
+		fmt.Fprintf(os.Stdout, "greedy Retry-After hints: %d distinct, e.g. %v\n", len(g.retryAfter), hints)
+	}
+	if g.shed == 0 {
+		fmt.Fprintln(os.Stdout, "note: greedy tenant was never shed — target has no admission control, or load is under capacity")
+	}
+	return nil
+}
+
 // pct reads the p-quantile of an ascending-sorted latency slice.
 func pct(sorted []time.Duration, p float64) time.Duration {
 	return sorted[int(p*float64(len(sorted)-1))]
@@ -263,8 +441,8 @@ func maxTenants(tenants int) int {
 // selfServer builds a small in-process SAG server (fixed-rate estimator,
 // quantized decision cache) so sagload can run without a sagserver target.
 // tenants raises the resident-tenant cap when the fan-out needs more than
-// the shard default.
-func selfServer(budget float64, tenants int) (*httptest.Server, int, int, error) {
+// the shard default; adm wires the admission-control knobs through.
+func selfServer(budget float64, tenants int, adm admit.Config) (*httptest.Server, int, int, error) {
 	world, err := emr.NewWorld(emr.WorldConfig{Seed: 5, Employees: 30, Patients: 100, Departments: 4})
 	if err != nil {
 		return nil, 0, 0, err
@@ -293,6 +471,7 @@ func selfServer(budget float64, tenants int) (*httptest.Server, int, int, error)
 		Cache:      core.CacheConfig{Size: 64, BudgetQuantum: 1e6, RateQuantum: 1},
 		Clock:      func() time.Duration { return 9 * time.Hour },
 		MaxTenants: maxTenants(tenants),
+		Admission:  adm,
 	})
 	if err != nil {
 		return nil, 0, 0, err

@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/auditgames/sag/internal/admit"
 	"github.com/auditgames/sag/internal/server"
 )
 
@@ -24,7 +25,7 @@ import (
 // tenant beyond the sized cap is refused with 429 instead of silently
 // landing in another tenant's cycle.
 func TestSelfServerTenantFanOut(t *testing.T) {
-	ts, bgE, bgP, err := selfServer(1e9, 2)
+	ts, bgE, bgP, err := selfServer(1e9, 2, admit.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -31,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/auditgames/sag/internal/admit"
 	"github.com/auditgames/sag/internal/alerts"
 	"github.com/auditgames/sag/internal/core"
 	"github.com/auditgames/sag/internal/emr"
@@ -76,6 +77,11 @@ func run() error {
 		tenants      = flag.Int("tenants", 0, "pre-create tenant-1..tenant-N at startup (others are created on first use)")
 		maxTenants   = flag.Int("max-tenants", 0, "resident tenant cap; requests for new tenants beyond it answer 429 (0 = default)")
 		shardWorkers = flag.Int("shard-workers", 0, "box-wide candidate-LP fan-out bound shared by every tenant's solves (0 = GOMAXPROCS)")
+
+		rate        = flag.Float64("rate", 0, "per-tenant admission rate in req/s; over-rate requests answer 503 with a computed Retry-After (0 disables rate limiting)")
+		burst       = flag.Float64("burst", 0, "per-tenant token-bucket depth with -rate (0 = max(1, rate))")
+		maxInflight = flag.Int("max-inflight", 0, "box-wide cap on concurrently admitted mutations; excess requests queue or shed (0 disables the cap and the queue)")
+		queueDepth  = flag.Int("queue-depth", 0, "box-wide admission queue bound with -max-inflight; a full queue sheds with 503 (0 = no queue: shed immediately when saturated)")
 	)
 	flag.Parse()
 
@@ -149,6 +155,12 @@ func run() error {
 		DecisionDeadline: *decisionDeadline,
 		RequestTimeout:   *requestTimeout,
 		MaxTenants:       *maxTenants,
+		Admission: admit.Config{
+			Rate:        *rate,
+			Burst:       *burst,
+			MaxInflight: *maxInflight,
+			QueueDepth:  *queueDepth,
+		},
 		DataDir:          *dataDir,
 		Fsync:            fsync,
 		SnapshotEvery:    *snapshotEvery,
@@ -167,6 +179,10 @@ func run() error {
 	}
 	if *dataDir != "" {
 		log.Printf("durability on: journals under %s (fsync=%s), recovered tenants restore on first use", *dataDir, fsync)
+	}
+	if cfg.Admission.Enabled() {
+		log.Printf("admission control on: rate=%g burst=%g max-inflight=%d queue-depth=%d (shed answers 503 with computed Retry-After)",
+			*rate, *burst, *maxInflight, *queueDepth)
 	}
 	for i := 1; i <= *tenants; i++ {
 		id := fmt.Sprintf("tenant-%d", i)

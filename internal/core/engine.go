@@ -232,25 +232,33 @@ type Decision struct {
 //	estMu  — serializes the (possibly stateful) estimator
 //	flight — the in-flight solve registry (never held during a solve)
 type Engine struct {
-	mu        sync.Mutex
-	estMu     sync.Mutex
-	inst      *game.Instance
-	est       Estimator
-	policy    Policy
-	rng       *rand.Rand
-	useLP     bool
-	bayes     []signaling.AttackerType
-	deadline  time.Duration
-	degrade   bool
-	sseSolve  SSESolveFunc
-	journal   JournalFunc
-	budget    float64
-	initial   float64
-	cycle     uint64 // epoch, bumped by NewCycle; guarded by mu
-	rngDraws  uint64 // signal-sampling draws consumed; guarded by mu
-	decisions []Decision
-	cache     *decisionCache
-	flight    flightGroup
+	mu       sync.Mutex
+	estMu    sync.Mutex
+	inst     *game.Instance
+	est      Estimator
+	policy   Policy
+	rng      *rand.Rand
+	useLP    bool
+	bayes    []signaling.AttackerType
+	deadline time.Duration
+	degrade  bool
+	sseSolve SSESolveFunc
+	journal  JournalFunc
+	budget   float64
+	initial  float64
+	cycle    uint64 // epoch, bumped by NewCycle; guarded by mu
+	rngDraws uint64 // signal-sampling draws consumed; guarded by mu
+	// pendingDraw buffers one value pulled from rng but not yet consumed
+	// (counted in rngDraws). The commit path peeks the draw to sample the
+	// signal and consumes it only once the journal record is enqueued; a
+	// journal failure rolls the decision back but cannot rewind rng, so
+	// the buffered value is what keeps the live stream aligned with the
+	// stream a crash-recovered engine would fast-forward to. Guarded by mu.
+	pendingDraw float64
+	hasPending  bool
+	decisions   []Decision
+	cache       *decisionCache
+	flight      flightGroup
 	// lastSSE / lastRates feed the degraded rungs: the most recent
 	// successfully solved equilibrium (for the last-good-θ rung) and the
 	// most recent successful future-rate estimate (for the static rung's
@@ -284,8 +292,8 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.Estimator == nil {
 		return nil, errors.New("core: Config.Estimator is required")
 	}
-	if cfg.Budget < 0 || math.IsNaN(cfg.Budget) || math.IsInf(cfg.Budget, 0) {
-		return nil, fmt.Errorf("core: invalid budget %g", cfg.Budget)
+	if err := ValidateBudget(cfg.Budget); err != nil {
+		return nil, err
 	}
 	if cfg.Policy != PolicyOSSP && cfg.Policy != PolicySSE {
 		return nil, fmt.Errorf("core: unknown policy %d", cfg.Policy)
@@ -332,14 +340,25 @@ func (e *Engine) RemainingBudget() float64 {
 	return e.budget
 }
 
+// ValidateBudget reports whether b is usable as a cycle budget — the exact
+// precondition NewCycle (and NewEngine) enforce. Callers that must know a
+// later NewCycle cannot fail (the server journals the cycle-open record
+// before rolling the engine over) validate with this first.
+func ValidateBudget(b float64) error {
+	if b < 0 || math.IsNaN(b) || math.IsInf(b, 0) {
+		return fmt.Errorf("core: invalid budget %g", b)
+	}
+	return nil
+}
+
 // NewCycle resets the engine for the next audit cycle: the budget is
 // restored to the given value, recorded decisions are cleared, and any
 // rollback state in the estimator is reset (when the estimator exposes a
 // Reset method). The game instance, estimator, policy, and RNG stream are
 // kept, so one Engine can process a whole sequence of audit days.
 func (e *Engine) NewCycle(budget float64) error {
-	if budget < 0 || math.IsNaN(budget) || math.IsInf(budget, 0) {
-		return fmt.Errorf("core: invalid budget %g", budget)
+	if err := ValidateBudget(budget); err != nil {
+		return err
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -449,14 +468,16 @@ func (e *Engine) ProcessContext(ctx context.Context, a Alert) (*Decision, error)
 			}
 			e.met.staleCommits.Inc()
 		}
-		// Commit: sample the signal and charge the budget.
+		// Commit: sample the signal and charge the budget. The signal draw
+		// is peeked, not consumed — if journaling fails below, the decision
+		// rolls back and the buffered draw is re-used by the next commit,
+		// exactly as a crash-recovered engine would sample it.
 		d.BudgetBefore = e.budget
 		V := e.inst.AuditCosts[a.Type]
 		switch e.policy {
 		case PolicyOSSP:
 			warnProb := d.Scheme.WarnProbability()
-			d.Warned = e.rng.Float64() < warnProb
-			e.rngDraws++
+			d.Warned = e.peekDrawLocked() < warnProb
 			if d.Warned {
 				d.AuditCharge = d.Scheme.AuditGivenWarn()
 			} else {
@@ -475,15 +496,27 @@ func (e *Engine) ProcessContext(ctx context.Context, a Alert) (*Decision, error)
 		if e.journal != nil {
 			wait, journalErr = e.journal(e.recordLocked(d))
 		}
+		if journalErr != nil {
+			// The record never entered the journal, so recovery will never
+			// replay it: un-commit. The request is not acknowledged, the
+			// budget chain and decision list match what is durable, and the
+			// peeked draw stays buffered for the next commit.
+			e.decisions = e.decisions[:len(e.decisions)-1]
+			e.budget = d.BudgetBefore
+			e.met.journalRollbacks.Inc()
+			e.met.budget.Set(e.budget)
+			e.mu.Unlock()
+			return nil, fmt.Errorf("core: journaling decision: %w", journalErr)
+		}
+		if e.policy == PolicyOSSP {
+			e.consumeDrawLocked()
+		}
 		if e.met.enabled {
 			e.met.decision.ObserveSince(t0)
 			e.met.decisions.Inc()
 			e.met.budget.Set(e.budget)
 		}
 		e.mu.Unlock()
-		if journalErr != nil {
-			return nil, fmt.Errorf("core: journaling decision: %w", journalErr)
-		}
 		if wait != nil {
 			if err := wait(); err != nil {
 				return nil, fmt.Errorf("core: journal fsync: %w", err)

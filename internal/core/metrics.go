@@ -54,6 +54,12 @@ const (
 	// MetricCoalescedSolvesTotal counts decisions answered by another
 	// caller's identical in-flight solve (single-flight coalescing).
 	MetricCoalescedSolvesTotal = "sag_engine_coalesced_solves_total"
+	// MetricJournalRollbacksTotal counts committed decisions that were
+	// rolled back because their journal record could not be enqueued: the
+	// budget charge is reversed, the decision is popped, and the sampled
+	// signal draw is kept buffered so the RNG stream stays aligned with
+	// what crash recovery would replay.
+	MetricJournalRollbacksTotal = "sag_engine_journal_rollbacks_total"
 	// MetricInflightSolves is a gauge of decision pipelines currently inside
 	// the SSE/signaling solve (past the cache and coalescing layers).
 	MetricInflightSolves = "sag_engine_inflight_solves"
@@ -85,10 +91,11 @@ type engineMetrics struct {
 	fallbackStatic   *obs.Counter
 	deadlineExceeded *obs.Counter
 
-	commitRetries   *obs.Counter
-	staleCommits    *obs.Counter
-	coalescedSolves *obs.Counter
-	inflightSolves  *obs.Gauge
+	commitRetries    *obs.Counter
+	staleCommits     *obs.Counter
+	coalescedSolves  *obs.Counter
+	inflightSolves   *obs.Gauge
+	journalRollbacks *obs.Counter
 }
 
 // fallbackCounter maps a degraded level to its labeled counter (nil, hence a
@@ -146,10 +153,11 @@ func newEngineMetrics(reg *obs.Registry, policy Policy, extra ...obs.Label) engi
 		fallbackStatic:   reg.Counter(MetricFallbackTotal, fallbackHelp, with(obs.L("level", fallback.Static.String()))...),
 		deadlineExceeded: reg.Counter(MetricDeadlineExceededTotal, "Decisions cut off by the per-decision deadline.", with()...),
 
-		commitRetries:   reg.Counter(MetricCommitRetriesTotal, "Optimistic commits that re-solved at a fresh budget.", with()...),
-		staleCommits:    reg.Counter(MetricStaleCommitsTotal, "Decisions committed from a stale budget snapshot after retry exhaustion.", with()...),
-		coalescedSolves: reg.Counter(MetricCoalescedSolvesTotal, "Decisions answered by an identical in-flight solve.", with()...),
-		inflightSolves:  reg.Gauge(MetricInflightSolves, "Decision pipelines currently inside the SSE/signaling solve.", with()...),
+		commitRetries:    reg.Counter(MetricCommitRetriesTotal, "Optimistic commits that re-solved at a fresh budget.", with()...),
+		staleCommits:     reg.Counter(MetricStaleCommitsTotal, "Decisions committed from a stale budget snapshot after retry exhaustion.", with()...),
+		coalescedSolves:  reg.Counter(MetricCoalescedSolvesTotal, "Decisions answered by an identical in-flight solve.", with()...),
+		inflightSolves:   reg.Gauge(MetricInflightSolves, "Decision pipelines currently inside the SSE/signaling solve.", with()...),
+		journalRollbacks: reg.Counter(MetricJournalRollbacksTotal, "Committed decisions rolled back because journaling failed.", with()...),
 	}
 }
 

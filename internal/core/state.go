@@ -185,7 +185,7 @@ func (e *Engine) RestoreState(st EngineState) error {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if len(e.decisions) != 0 || e.rngDraws != 0 {
+	if len(e.decisions) != 0 || e.rngDraws != 0 || e.hasPending {
 		return errors.New("core: RestoreState requires a fresh engine")
 	}
 	e.budget = st.Budget
@@ -250,14 +250,36 @@ func (e *Engine) ApplyDecision(r DecisionRecord) error {
 		return fmt.Errorf("core: replaying decision out of order: seq %d, want %d", r.Seq, want)
 	}
 	if e.policy == PolicyOSSP {
-		// The original commit consumed one draw to sample the signal.
-		e.rng.Float64()
-		e.rngDraws++
+		// The original commit consumed one draw to sample the signal. Going
+		// through peek/consume (rather than rng.Float64 directly) keeps a
+		// follower or restarted engine aligned even when the live engine is
+		// holding a buffered draw from a rolled-back commit.
+		e.peekDrawLocked()
+		e.consumeDrawLocked()
 	}
 	e.budget = math.Max(0, r.BudgetAfter)
 	e.decisions = append(e.decisions, r.restore())
 	e.met.budget.Set(e.budget)
 	return nil
+}
+
+// peekDrawLocked returns the next signal-sampling value without consuming
+// it: the first peek pulls from the RNG into a one-slot buffer, and repeated
+// peeks return the buffered value. Caller holds e.mu.
+func (e *Engine) peekDrawLocked() float64 {
+	if !e.hasPending {
+		e.pendingDraw = e.rng.Float64()
+		e.hasPending = true
+	}
+	return e.pendingDraw
+}
+
+// consumeDrawLocked commits the buffered draw: the value is spent and
+// rngDraws — the count snapshots export and recovery fast-forwards — moves
+// past it. Caller holds e.mu and must have peeked first.
+func (e *Engine) consumeDrawLocked() {
+	e.hasPending = false
+	e.rngDraws++
 }
 
 // RNGDraws returns how many signal-sampling draws the engine has consumed

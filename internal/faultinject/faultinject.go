@@ -159,3 +159,9 @@ func (p *Point) fire(done <-chan struct{}) error {
 	}
 	return err
 }
+
+// Fire triggers the point once with no cancellation: sleep any injected
+// latency, then panic or return the injected error per the seeded schedule.
+// It is the seam for call sites that are not wrapped behind an interface —
+// e.g. the server's journal-append path — and is a no-op on a nil *Point.
+func (p *Point) Fire() error { return p.fire(nil) }

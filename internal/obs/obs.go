@@ -340,6 +340,15 @@ var DefTimeBuckets = []float64{
 	0.25, 0.5, 1, 2.5,
 }
 
+// DefWaitBuckets is a bucket layout, in seconds, for queueing delays —
+// admission-queue waits, drain times, retry hints. These routinely exceed
+// the solve latencies DefTimeBuckets is shaped for, so the layout trades
+// sub-millisecond resolution for coverage out to half a minute.
+var DefWaitBuckets = []float64{
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3,
+	0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
 // LinearBuckets returns count ascending bounds start, start+width, ...
 func LinearBuckets(start, width float64, count int) []float64 {
 	out := make([]float64, count)

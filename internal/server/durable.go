@@ -238,7 +238,11 @@ func (s *Server) journalRecord(w http.ResponseWriter, t *tenantState, r wal.Reco
 	if t.journal == nil {
 		return true
 	}
-	wait, err := t.journal.Append(r)
+	err := s.fireJournalFault()
+	var wait func() error
+	if err == nil {
+		wait, err = t.journal.Append(r)
+	}
 	if err == nil && wait != nil {
 		err = wait()
 	}
@@ -373,6 +377,12 @@ func (s *Server) RemoveTenant(id string) bool {
 // instead of writing into it.
 func (s *Server) evictTenant(tn *shard.Tenant) {
 	t := tn.Data.(*tenantState)
+	// Drop the tenant's admission gate (if idle) so the gate table tracks
+	// the resident set; this must run even for non-durable tenants, which
+	// return before the journal work below.
+	if s.admit != nil {
+		s.admit.Forget(t.id)
+	}
 	if t.journal == nil {
 		return
 	}
@@ -410,8 +420,12 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 			apiError{Error: "durability is disabled (server started without a data dir)"})
 		return
 	}
+	// The body is optional (operators curl this with none); malformed JSON
+	// is tolerated but an oversized body is a hard 413.
 	var req SnapshotRequest
-	_ = json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody)).Decode(&req)
+	if !s.decodeJSONLenient(w, r, &req) {
+		return
+	}
 	id := req.Tenant
 	if h := r.Header.Get(TenantHeader); h != "" {
 		id = h

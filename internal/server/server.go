@@ -50,14 +50,15 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/auditgames/sag/internal/admit"
 	"github.com/auditgames/sag/internal/alerts"
 	"github.com/auditgames/sag/internal/core"
 	"github.com/auditgames/sag/internal/emr"
+	"github.com/auditgames/sag/internal/faultinject"
 	"github.com/auditgames/sag/internal/game"
 	"github.com/auditgames/sag/internal/obs"
 	"github.com/auditgames/sag/internal/shard"
@@ -134,6 +135,14 @@ type Config struct {
 	// RequestTimeout bounds each request end to end; requests that exceed it
 	// are answered 503. Zero disables the per-request timeout.
 	RequestTimeout time.Duration
+	// Admission configures overload protection for the mutation hot path
+	// (/v1/access and /v1/quit): per-tenant token-bucket rate limits, a
+	// box-wide inflight cap with a bounded round-robin-fair admission
+	// queue, and deadline-aware shedding (503 + computed Retry-After). The
+	// zero value admits everything. When Admission.MaxWait is zero it
+	// defaults to DecisionDeadline — a queue wait that would eat the whole
+	// decision deadline is shed up front. See internal/admit.
+	Admission admit.Config
 	// SSESolve overrides the engines' online SSE solver (nil means the real
 	// game.SolveOnlineSSECtx). Injection seam for fault-injection and for
 	// the concurrency tests, which substitute a blocking solver to prove
@@ -244,10 +253,19 @@ type Server struct {
 	maxBody   int64
 	ready     atomic.Bool
 
+	// admit is the admission controller gating the mutation hot path; nil
+	// when Config.Admission is the zero value (admit everything).
+	admit *admit.Controller
+
 	// following is true while the server is a replicating standby; flipped
 	// false (permanently) by Promote. Mutation handlers gate on it.
 	following atomic.Bool
 	follow    atomic.Pointer[followController] // set by StartFollowing
+
+	// journalFault, when set, is fired before every WAL append — the
+	// handlers' journalRecord and the engine's decision hook. Testing seam
+	// for the journal-failure consistency suite (SetJournalFault).
+	journalFault atomic.Pointer[faultinject.Point]
 }
 
 // New validates the configuration and builds the server. The default
@@ -305,6 +323,32 @@ func New(cfg Config) (*Server, error) {
 		defaultID: cfg.DefaultTenant,
 		maxBody:   cfg.MaxBodyBytes,
 	}
+	if cfg.Admission.Enabled() {
+		adm := cfg.Admission
+		if adm.MaxWait == 0 {
+			// A queue wait that would consume the whole decision deadline
+			// leaves the engine nothing but its static fallback rung; shed
+			// those requests at the door instead.
+			adm.MaxWait = cfg.DecisionDeadline
+		}
+		if adm.MaxTenants == 0 {
+			// Gate bookkeeping is tiny; 4× the resident-tenant cap leaves
+			// room for evicted tenants whose clients are still arriving.
+			residents := cfg.MaxTenants
+			if residents <= 0 {
+				residents = shard.DefaultMaxTenants
+			}
+			adm.MaxTenants = 4 * residents
+		}
+		if adm.Metrics == nil {
+			adm.Metrics = s.met.reg
+		}
+		ctl, err := admit.New(adm)
+		if err != nil {
+			return nil, fmt.Errorf("server: admission: %w", err)
+		}
+		s.admit = ctl
+	}
 	// Set before the first buildTenant call: follower tenants recover their
 	// local mirror instead of opening a writable journal.
 	s.following.Store(cfg.FollowPrimary != "")
@@ -361,6 +405,9 @@ func (s *Server) buildTenant(id string) (*core.Engine, any, error) {
 			j := t.journal
 			if j == nil {
 				return nil, errors.New("server: tenant journal not open (standby not promoted)")
+			}
+			if err := s.fireJournalFault(); err != nil {
+				return nil, err
 			}
 			wait, err := j.Append(wal.Record{Kind: wal.KindDecision, Decision: rec})
 			if err != nil {
@@ -426,15 +473,7 @@ func (s *Server) EnsureTenant(id string) error {
 }
 
 // Tenants returns the IDs of the resident tenants, sorted.
-func (s *Server) Tenants() []string {
-	ids := make([]string, 0, s.router.Len())
-	s.router.Range(func(t *shard.Tenant) bool {
-		ids = append(ids, t.ID)
-		return true
-	})
-	sort.Strings(ids)
-	return ids
-}
+func (s *Server) Tenants() []string { return s.router.IDs() }
 
 // SetReady flips the readiness gate served by GET /v1/readyz. The graceful
 // shutdown path flips it false before draining so load balancers stop
@@ -579,20 +618,26 @@ func (s *Server) Handler() http.Handler {
 	root.Handle("GET /v1/replicate", http.HandlerFunc(s.handleReplicate))
 	root.Handle("POST /v1/admin/promote", http.HandlerFunc(s.handlePromote))
 	root.Handle("/", api)
-	return retryAfter(root)
+	return s.retryAfter(root)
 }
 
 // retryAfterWriter stamps backpressure responses (429 tenant limit, 503
 // draining / request timeout / standby) with a Retry-After hint so
-// well-behaved clients back off instead of hammering.
+// well-behaved clients back off instead of hammering. Responses that
+// already carry the header — admission sheds compute a per-request hint —
+// keep theirs; the rest get this writer's fallback hint, which the
+// admission controller derives from the observed queue drain rate (a
+// constant "1" only when admission control is disabled and the server has
+// no drain measurements to compute from).
 type retryAfterWriter struct {
 	http.ResponseWriter
+	hint func() string
 }
 
 func (w *retryAfterWriter) WriteHeader(code int) {
 	if (code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable) &&
 		w.Header().Get("Retry-After") == "" {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", w.hint())
 	}
 	w.ResponseWriter.WriteHeader(code)
 }
@@ -601,9 +646,15 @@ func (w *retryAfterWriter) WriteHeader(code int) {
 // replication stream's per-write deadlines and flushes work through the wrap.
 func (w *retryAfterWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
-func retryAfter(h http.Handler) http.Handler {
+func (s *Server) retryAfter(h http.Handler) http.Handler {
+	hint := func() string {
+		if s.admit != nil {
+			return admit.FormatRetryAfter(s.admit.RetryHint())
+		}
+		return "1"
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		h.ServeHTTP(&retryAfterWriter{ResponseWriter: w}, r)
+		h.ServeHTTP(&retryAfterWriter{ResponseWriter: w, hint: hint}, r)
 	})
 }
 
@@ -679,6 +730,66 @@ func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool 
 		return false
 	}
 	return true
+}
+
+// decodeJSONLenient decodes a capped request body into v, tolerating a
+// malformed (or absent) body — v keeps its zero value — but still answering
+// 413 for an oversized one. For endpoints whose body is optional and
+// historically junk-tolerant (cycle close, admin snapshot): before this
+// helper their raw Decode swallowed the MaxBytesReader error too, silently
+// treating an over-limit body as an empty request.
+func (s *Server) decodeJSONLenient(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				apiError{Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
+			return false
+		}
+	}
+	return true
+}
+
+// admitRequest passes one mutation request through admission control,
+// answering the 503 (with the computed Retry-After) itself on a shed.
+// Returns ok=false when the response has been written; otherwise release is
+// the slot-return hook to defer (nil when admission control is off or the
+// tenant ID is malformed — those requests die in resolveTenant with a 400
+// and must not occupy admission state).
+func (s *Server) admitRequest(w http.ResponseWriter, r *http.Request, tenant string) (release func(), ok bool) {
+	if s.admit == nil || !shard.ValidID(tenant) {
+		return nil, true
+	}
+	release, err := s.admit.Admit(r.Context(), tenant)
+	if err != nil {
+		var shed *admit.ShedError
+		if errors.As(err, &shed) {
+			hint := admit.FormatRetryAfter(shed.RetryAfter)
+			w.Header().Set("Retry-After", hint)
+			writeJSON(w, http.StatusServiceUnavailable, apiError{
+				Error: fmt.Sprintf("overloaded (%s): request shed; retry after %ss", shed.Reason, hint)})
+		} else {
+			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+		}
+		return nil, false
+	}
+	return release, true
+}
+
+// SetJournalFault installs (or, with nil, removes) a fault-injection point
+// fired before every WAL append — both the handlers' journalRecord and the
+// engine's decision hook. It exists for the journal-failure consistency
+// suite, which proves a failed append leaves in-memory state identical to
+// a crash-recovery replay.
+func (s *Server) SetJournalFault(p *faultinject.Point) { s.journalFault.Store(p) }
+
+// fireJournalFault triggers the installed fault point, if any.
+func (s *Server) fireJournalFault() error {
+	if p := s.journalFault.Load(); p != nil {
+		return p.Fire()
+	}
+	return nil
 }
 
 // tenantID resolves the tenant a request addresses: the X-SAG-Tenant header
@@ -788,10 +899,20 @@ func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeJSON(w, r, &req) {
 		return
 	}
+	id := s.tenantID(r, req.Tenant)
+	// Admission control runs before any tenant state is touched: a shed
+	// request costs the box one token-bucket check, not a solve.
+	release, ok := s.admitRequest(w, r, id)
+	if !ok {
+		return
+	}
+	if release != nil {
+		defer release()
+	}
 	// Read side only: any number of access decisions overlap; the solve
 	// itself runs under the engine's optimistic-commit protocol, not under
 	// any server lock.
-	t := s.resolveTenantLocked(w, s.tenantID(r, req.Tenant), true, false)
+	t := s.resolveTenantLocked(w, id, true, false)
 	if t == nil {
 		return
 	}
@@ -813,6 +934,7 @@ func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request) {
 		// The access was counted before it turned out malformed; journal the
 		// bare access so a recovered tenant reproduces the same counters.
 		if !s.journalRecord(w, t, wal.Record{Kind: wal.KindMeta}) {
+			t.rollbackAccess(false, false)
 			return
 		}
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
@@ -821,6 +943,7 @@ func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request) {
 	resp := AccessResponse{RemainingBudget: t.engine.RemainingBudget()}
 	if !fired {
 		if !s.journalRecord(w, t, wal.Record{Kind: wal.KindMeta}) {
+			t.rollbackAccess(false, false)
 			return
 		}
 		writeJSON(w, http.StatusOK, resp)
@@ -843,6 +966,7 @@ func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request) {
 		t.warned.Add(1)
 		t.met.warned.Inc()
 		if !s.journalRecord(w, t, wal.Record{Kind: wal.KindMeta, Meta: wal.Meta{Alerted: true, Warned: true}}) {
+			t.rollbackAccess(true, true)
 			return
 		}
 		writeJSON(w, http.StatusOK, resp)
@@ -853,6 +977,7 @@ func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request) {
 	if !gamed {
 		// Unmodeled type: logged, never warned (no payoff structure).
 		if !s.journalRecord(w, t, wal.Record{Kind: wal.KindMeta, Meta: wal.Meta{Alerted: true}}) {
+			t.rollbackAccess(true, false)
 			return
 		}
 		writeJSON(w, http.StatusOK, resp)
@@ -860,6 +985,10 @@ func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request) {
 	}
 	d, err := t.engine.ProcessContext(r.Context(), core.Alert{Type: idx, Time: now})
 	if err != nil {
+		// No decision committed (the engine rolls its own state back on a
+		// journaling failure), so the request is not acknowledged and the
+		// counters must forget it too.
+		t.rollbackAccess(true, false)
 		// ErrCycleRolledOver cannot fire while we hold the lifecycle read
 		// lock, but embedders drive the engine directly too — map it to the
 		// same conflict the closed-cycle guard answers.
@@ -882,6 +1011,21 @@ func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// rollbackAccess undoes the per-cycle counter increments of an access whose
+// journal record could not be written: the request was answered 5xx, not
+// acknowledged, so the atomics — which recovery rebuilds from the journal —
+// must not remember it. The cumulative t.met counters deliberately keep
+// counting attempts; only recovered state is rolled back.
+func (t *tenantState) rollbackAccess(alerted, warned bool) {
+	t.accesses.Add(-1)
+	if alerted {
+		t.alerts.Add(-1)
+	}
+	if warned {
+		t.warned.Add(-1)
+	}
+}
+
 func (s *Server) handleQuit(w http.ResponseWriter, r *http.Request) {
 	if s.rejectIfFollowing(w) {
 		return
@@ -890,7 +1034,15 @@ func (s *Server) handleQuit(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeJSON(w, r, &req) {
 		return
 	}
-	t := s.resolveTenantLocked(w, s.tenantID(r, req.Tenant), true, false)
+	id := s.tenantID(r, req.Tenant)
+	release, ok := s.admitRequest(w, r, id)
+	if !ok {
+		return
+	}
+	if release != nil {
+		defer release()
+	}
+	t := s.resolveTenantLocked(w, id, true, false)
 	if t == nil {
 		return
 	}
@@ -915,6 +1067,16 @@ func (s *Server) handleQuit(w http.ResponseWriter, r *http.Request) {
 		// Only the first report changes state; repeats are idempotent on
 		// replay too (the flag check above) so they need no record.
 		if !s.journalRecord(w, t, wal.Record{Kind: wal.KindQuit, Employee: req.EmployeeID}) {
+			// The quit never became durable: the live server answered 500,
+			// so memory must forget the flag exactly as a crash-recovered
+			// replay would never learn it. (A concurrent access may have
+			// observed the flag in its transient window — the same exposure
+			// an acknowledged-then-crashed quit already has.)
+			t.flaggedMu.Lock()
+			delete(t.flagged, req.EmployeeID)
+			t.met.flagged.Set(float64(len(t.flagged)))
+			t.flaggedMu.Unlock()
+			t.quits.Add(-1)
 			return
 		}
 	}
@@ -929,9 +1091,12 @@ func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
 	}
 	// The close itself takes no parameters; the body is decoded only for
 	// its optional tenant field and malformed bodies are deliberately
-	// tolerated (callers historically POST empty or junk bodies here).
+	// tolerated (callers historically POST empty or junk bodies here) —
+	// but an oversized body is still a hard 413, not an empty request.
 	var req CloseRequest
-	_ = json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody)).Decode(&req)
+	if !s.decodeJSONLenient(w, r, &req) {
+		return
+	}
 	// Closing must not create: an unknown tenant has no cycle to close.
 	// Write side: wait for this tenant's in-flight decisions, then freeze
 	// the cycle. A second close is a conflict — re-sampling would draw a
@@ -972,8 +1137,24 @@ func (s *Server) handleNewCycle(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer t.lifecycle.Unlock()
-	if err := t.engine.NewCycle(req.Budget); err != nil {
+	if err := core.ValidateBudget(req.Budget); err != nil {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	// Journal-first: unlike a close (whose pre-state is one boolean) the
+	// rollover has no cheap rollback — NewCycle discards the old cycle's
+	// decisions, fallback state, and cache. Making the record durable
+	// before mutating anything means a failed append leaves the old cycle
+	// fully intact, and with the budget pre-validated the engine call below
+	// cannot fail after the record is on disk.
+	if !s.journalRecord(w, t, wal.Record{Kind: wal.KindCycleOpen, Budget: req.Budget}) {
+		return
+	}
+	if err := t.engine.NewCycle(req.Budget); err != nil {
+		// Unreachable for a validated budget; if it ever fires the journal
+		// holds a cycle-open that memory does not, so say so loudly.
+		s.logf("server: tenant %s: cycle open journaled but engine rollover failed: %v", t.id, err)
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
 		return
 	}
 	// Reset every per-cycle counter. Flagged users deliberately survive the
@@ -983,9 +1164,6 @@ func (s *Server) handleNewCycle(w http.ResponseWriter, r *http.Request) {
 	t.alerts.Store(0)
 	t.warned.Store(0)
 	t.quits.Store(0)
-	if !s.journalRecord(w, t, wal.Record{Kind: wal.KindCycleOpen, Budget: req.Budget}) {
-		return
-	}
 	writeJSON(w, http.StatusOK, struct {
 		Budget float64 `json:"budget"`
 	}{Budget: req.Budget})

@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -327,4 +328,16 @@ func (r *Router) Range(fn func(*Tenant) bool) {
 			}
 		}
 	}
+}
+
+// IDs returns the resident tenant IDs, sorted. It is Range distilled to the
+// one projection every caller of Range-for-listing re-implemented.
+func (r *Router) IDs() []string {
+	ids := make([]string, 0, r.Len())
+	r.Range(func(t *Tenant) bool {
+		ids = append(ids, t.ID)
+		return true
+	})
+	sort.Strings(ids)
+	return ids
 }
