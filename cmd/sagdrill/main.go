@@ -17,6 +17,14 @@
 //     the primary is SIGKILLed with a request in flight, the standby is
 //     promoted via /v1/admin/promote, and the script resumes against it.
 //
+//   - -mode retention: the primary runs under a tiny -disk-budget with a
+//     fast compactor while a standby tails it live. The script (padded with
+//     cheap benign writes) forces at least three snapshot-then-prune rounds
+//     under the connected follower; retention leases must keep the stream
+//     intact — the standby reaches lag 0 with zero re-seeds (its mirror is
+//     never wiped), box-wide journal bytes stay bounded, and the promoted
+//     standby byte-compares against the golden run.
+//
 // Both runs then answer /v1/status, /v1/cycle/summary, and /v1/cycle/close.
 // The drill fails unless all three responses match byte for byte, and
 // unless the surviving state accounts for every acknowledged request (the
@@ -83,7 +91,7 @@ type config struct {
 func run() error {
 	var cfg config
 	flag.StringVar(&cfg.serverBin, "server", "./sagserver", "path to the sagserver binary under test")
-	flag.StringVar(&cfg.mode, "mode", "crash", "drill mode: crash (kill + restart on the same data dir) or failover (kill the primary, promote a WAL-shipping standby)")
+	flag.StringVar(&cfg.mode, "mode", "crash", "drill mode: crash (kill + restart on the same data dir), failover (kill the primary, promote a WAL-shipping standby), or retention (compaction under a live follower, then promote)")
 	flag.Int64Var(&cfg.seed, "seed", 1, "drill seed: request script, kill point, and kill timing all derive from it")
 	flag.IntVar(&cfg.requests, "requests", 40, "access requests in the script (plus one quit)")
 	flag.IntVar(&cfg.employees, "employees", 120, "world size passed to the server (first planted pair = employees/patients)")
@@ -101,7 +109,23 @@ func drillRun(cfg config) error {
 	}
 	log.Printf("drill seed %d (mode %s)", cfg.seed, cfg.mode)
 
+	if cfg.mode == "retention" && cfg.requests > 12 {
+		// Alert-heavy ops grow the tenant snapshot (the cycle's alert list
+		// rides in it), and the retention budget must stay above one
+		// snapshot for the tenant to keep reclaiming. Keep the alert prefix
+		// short; the disk pressure comes from the benign filler instead.
+		log.Printf("retention mode: capping -requests %d to 12 (snapshot must fit the disk budget)", cfg.requests)
+		cfg.requests = 12
+	}
 	script := buildScript(cfg.seed, cfg.requests, cfg.employees, cfg.patients)
+	if cfg.mode == "retention" {
+		// Benign accesses journal a handful of bytes each and leave the
+		// snapshot alone: sustained cheap writes against a tiny budget is
+		// exactly the workload that forces repeated compaction rounds.
+		for i := 0; i < retentionFillerOps; i++ {
+			script = append(script, op{employee: 0, patient: 0})
+		}
+	}
 	rng := rand.New(rand.NewSource(cfg.seed ^ 0x9d1))
 	kill := 1 + rng.Intn(len(script)-1)
 
@@ -148,8 +172,15 @@ func drillRun(cfg config) error {
 			return fmt.Errorf("failover run: %w", err)
 		}
 		what = "standby promotion"
+	case "retention":
+		log.Printf("retention run: %d ops against a %d-byte disk budget with a live follower", len(script), retentionDiskBudget)
+		survived, err = d.retentionRun(script)
+		if err != nil {
+			return fmt.Errorf("retention run: %w", err)
+		}
+		what = "retention under a live follower"
 	default:
-		return fmt.Errorf("unknown -mode %q (want crash or failover)", cfg.mode)
+		return fmt.Errorf("unknown -mode %q (want crash, failover, or retention)", cfg.mode)
 	}
 
 	for _, c := range []struct{ name, file, want, got string }{
@@ -575,6 +606,178 @@ func (d *drill) failoverRun(script []op, kill, jitterMS int) (capture, error) {
 		}
 	}
 	return d.fingerprint(standbyBase)
+}
+
+// Retention drill parameters. The budget must sit above one tenant snapshot
+// (so the tenant can always reclaim) yet far below the filler's total write
+// volume (so the compactor is forced through several rounds).
+const (
+	retentionDiskBudget = 8 << 10
+	retentionFillerOps  = 5000
+)
+
+// retentionRun drives the whole script at a primary running under a tiny
+// disk budget with a fast background compactor, while a standby tails the
+// stream live the entire time. It fails unless:
+//
+//   - the compactor completes at least 3 snapshot-then-prune rounds (the
+//     primary's oldest WAL segment advances at least 3 times);
+//   - box-wide journal bytes stay bounded throughout and settle under twice
+//     the budget;
+//   - the standby reaches lag 0 with ZERO re-seeds — its mirror is never
+//     wiped, proven by its oldest segment never moving (retention leases
+//     must pin the stream's cursor so pruning never gaps a connected
+//     follower);
+//   - after killing the primary and promoting the standby, the surviving
+//     state byte-compares against the golden run (checked by the caller).
+func (d *drill) retentionRun(script []op) (capture, error) {
+	primDir, err := os.MkdirTemp("", "sagdrill-retain-primary-*")
+	if err != nil {
+		return capture{}, err
+	}
+	defer os.RemoveAll(primDir)
+	standbyDir, err := os.MkdirTemp("", "sagdrill-retain-standby-*")
+	if err != nil {
+		return capture{}, err
+	}
+	defer os.RemoveAll(standbyDir)
+
+	primPort, err := freePort()
+	if err != nil {
+		return capture{}, err
+	}
+	standbyPort, err := freePort()
+	if err != nil {
+		return capture{}, err
+	}
+
+	prim, primBase, err := d.start(primDir, primPort,
+		"-wal-segment-bytes", "512",
+		"-disk-budget", fmt.Sprint(retentionDiskBudget),
+		"-compact-interval", "100ms")
+	if err != nil {
+		return capture{}, fmt.Errorf("primary: %w", err)
+	}
+	defer func() {
+		_ = prim.Process.Kill()
+		_ = prim.Wait()
+	}()
+	standby, standbyBase, err := d.start(standbyDir, standbyPort, "-follow", primBase, "-ready-lag", "0")
+	if err != nil {
+		return capture{}, fmt.Errorf("standby: %w", err)
+	}
+	defer func() {
+		_ = standby.Process.Kill()
+		_ = standby.Wait()
+	}()
+	// Apply a small prefix before the first catch-up check: a follower of a
+	// zero-record journal reports lag 1 until the first record ships.
+	prefix := min(8, len(script))
+	for i := 0; i < prefix; i++ {
+		if err := d.apply(primBase, script[i]); err != nil {
+			return capture{}, fmt.Errorf("op %d at primary: %w", i, err)
+		}
+	}
+	if err := d.waitCaughtUp(standbyBase, d.startWait); err != nil {
+		return capture{}, fmt.Errorf("standby initial catch-up: %w", err)
+	}
+	standbyLo, _, err := segRange(standbyDir)
+	if err != nil {
+		return capture{}, fmt.Errorf("standby segments: %w", err)
+	}
+
+	// Drive the script while the compactor churns underneath; count rounds
+	// by watching the primary's oldest segment advance, and bound the
+	// journal throughout (4× allows the transient of a fresh snapshot
+	// landing before the round's prune).
+	rounds := 0
+	lastLo, _, err := segRange(primDir)
+	if err != nil {
+		return capture{}, fmt.Errorf("primary segments: %w", err)
+	}
+	for i := prefix; i < len(script); i++ {
+		if err := d.apply(primBase, script[i]); err != nil {
+			return capture{}, fmt.Errorf("op %d at primary: %w", i, err)
+		}
+		if i%100 == 99 {
+			lo, _, err := segRange(primDir)
+			if err != nil {
+				return capture{}, fmt.Errorf("primary segments: %w", err)
+			}
+			if lo > lastLo {
+				rounds++
+				lastLo = lo
+			}
+			if got := journalBytes(primDir); got > 4*retentionDiskBudget {
+				return capture{}, fmt.Errorf("journal grew to %d bytes against a %d-byte budget: compaction not keeping up", got, retentionDiskBudget)
+			}
+		}
+	}
+	// Let the compactor settle, then require the steady state the budget
+	// promises and the rounds the drill is meant to force.
+	time.Sleep(time.Second)
+	if lo, _, err := segRange(primDir); err == nil && lo > lastLo {
+		rounds++
+		lastLo = lo
+	}
+	if rounds < 3 {
+		return capture{}, fmt.Errorf("only %d compaction rounds ran; the drill requires at least 3 (oldest segment now %d)", rounds, lastLo)
+	}
+	if got := journalBytes(primDir); got > 2*retentionDiskBudget {
+		return capture{}, fmt.Errorf("steady-state journal holds %d bytes, want <= 2x budget (%d)", got, 2*retentionDiskBudget)
+	}
+	log.Printf("compaction: %d rounds, steady-state journal %d bytes (budget %d)", rounds, journalBytes(primDir), retentionDiskBudget)
+
+	if err := d.waitCaughtUp(standbyBase, d.startWait); err != nil {
+		return capture{}, fmt.Errorf("standby catch-up through compaction: %w", err)
+	}
+	// Zero re-seeds: a re-seed wipes the mirror and restarts it at the
+	// primary's snapshot segment, so the standby's oldest segment moving is
+	// disqualifying.
+	lo, _, err := segRange(standbyDir)
+	if err != nil {
+		return capture{}, fmt.Errorf("standby segments: %w", err)
+	}
+	if lo != standbyLo {
+		return capture{}, fmt.Errorf("standby's oldest segment moved %d -> %d: the stream was re-seeded under compaction (lease failed)", standbyLo, lo)
+	}
+	log.Printf("standby at lag 0 with zero re-seeds (mirror still starts at segment %d)", lo)
+
+	if err := prim.Process.Kill(); err != nil {
+		return capture{}, err
+	}
+	_ = prim.Wait()
+	if err := d.promote(standbyBase); err != nil {
+		return capture{}, fmt.Errorf("promote: %w", err)
+	}
+	raw, err := d.get(standbyBase, "/v1/status")
+	if err != nil {
+		return capture{}, fmt.Errorf("promoted status: %w", err)
+	}
+	var st status
+	if err := json.Unmarshal([]byte(raw), &st); err != nil {
+		return capture{}, err
+	}
+	if applied := int(st.Accesses + st.Quits); applied != len(script) {
+		return capture{}, fmt.Errorf("promoted standby holds %d applied ops, want all %d (every op was acknowledged at lag 0)", applied, len(script))
+	}
+	return d.fingerprint(standbyBase)
+}
+
+// journalBytes sums the default tenant's journal directory under a data dir.
+func journalBytes(dataDir string) int64 {
+	dir := filepath.Join(dataDir, "tenants", "t-default")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	var total int64
+	for _, e := range entries {
+		if info, err := e.Info(); err == nil && !info.IsDir() {
+			total += info.Size()
+		}
+	}
+	return total
 }
 
 // waitCaughtUp polls the standby's /v1/readyz until it reports ready, which

@@ -110,3 +110,23 @@ func TestFailoverDrillEndToEnd(t *testing.T) {
 		t.Fatalf("failover drill: %v", err)
 	}
 }
+
+// TestRetentionDrillEndToEnd runs the retention drill — a primary under a
+// tiny disk budget with a fast compactor, a standby tailing it live through
+// at least three snapshot-then-prune rounds with zero re-seeds, promotion,
+// byte-compare against golden. Same assertion as the CI failover-drill job's
+// retention step, shrunk to test size.
+func TestRetentionDrillEndToEnd(t *testing.T) {
+	if err := drillRun(config{
+		serverBin: buildServer(t),
+		mode:      "retention",
+		seed:      7,
+		requests:  12,
+		employees: 60,
+		patients:  300,
+		history:   6,
+		startWait: 2 * time.Minute,
+	}); err != nil {
+		t.Fatalf("retention drill: %v", err)
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -168,6 +169,22 @@ func run() error {
 					st.errs++
 					continue
 				}
+				if *retryTransient && (resp.StatusCode == http.StatusServiceUnavailable ||
+					resp.StatusCode == http.StatusInsufficientStorage) {
+					// An overloaded (503) or disk-pressured (507) server said
+					// when to come back; honor its hint instead of charging a
+					// failure or hammering it on our own schedule.
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					hint, ok := serverRetryHint(resp.Header)
+					if !ok {
+						attempt++
+						hint = backoffDelay(attempt)
+					}
+					st.retries++
+					sleepInterruptible(hint, &stop)
+					continue
+				}
 				attempt = 0
 				var out server.AccessResponse
 				decErr := json.NewDecoder(resp.Body).Decode(&out)
@@ -278,12 +295,19 @@ func overloadShot(client *http.Client, base string, body []byte, st *tenantResul
 	case http.StatusOK:
 		st.ok++
 		st.lat = append(st.lat, time.Since(t0))
-	case http.StatusServiceUnavailable:
+	case http.StatusServiceUnavailable, http.StatusInsufficientStorage:
 		st.shed++
 		if st.retryAfter == nil {
 			st.retryAfter = map[string]int{}
 		}
-		st.retryAfter[resp.Header.Get("Retry-After")]++
+		// Report the precise hint when the server sent one: Retry-After is
+		// whole seconds by spec, so the computed sub-second spread is only
+		// visible in the millisecond header.
+		hint := resp.Header.Get("Retry-After")
+		if ms := resp.Header.Get(server.RetryAfterMsHeader); ms != "" {
+			hint = ms + "ms"
+		}
+		st.retryAfter[hint]++
 	default:
 		st.other++
 	}
@@ -405,6 +429,24 @@ func transientErr(err error) bool {
 	}
 	var oe *net.OpError
 	return errors.As(err, &oe) && (oe.Op == "dial" || oe.Op == "read")
+}
+
+// serverRetryHint reads a backpressure response's backoff hint, preferring
+// the precise X-SAG-Retry-After-Ms header over Retry-After: the latter is
+// RFC 9110 whole delta-seconds, so a 250ms hint reads as "1" there — 4× the
+// wait the server actually asked for.
+func serverRetryHint(h http.Header) (time.Duration, bool) {
+	if ms := h.Get(server.RetryAfterMsHeader); ms != "" {
+		if v, err := strconv.ParseInt(ms, 10, 64); err == nil && v > 0 {
+			return time.Duration(v) * time.Millisecond, true
+		}
+	}
+	if sec := h.Get("Retry-After"); sec != "" {
+		if v, err := strconv.ParseInt(sec, 10, 64); err == nil && v > 0 {
+			return time.Duration(v) * time.Second, true
+		}
+	}
+	return 0, false
 }
 
 // backoffDelay is the capped exponential backoff (with jitter) before retry

@@ -156,22 +156,31 @@ func (e *ShedError) Error() string {
 	return fmt.Sprintf("admit: tenant %q shed (%s), retry after %v", e.Tenant, e.Reason, e.RetryAfter)
 }
 
-// FormatRetryAfter renders a hint for a Retry-After header. RFC 7231 allows
-// only integral seconds; hints of a second or more are rounded up to whole
-// seconds, while sub-second hints are rendered as decimal seconds
-// (e.g. "0.25") — a documented deviation, since rounding a 50ms backlog up
-// to "1" would tell clients to wait 20× longer than needed.
+// FormatRetryAfter renders a hint for a Retry-After header. RFC 9110 §10.2.3
+// allows only non-negative integral delta-seconds (or an HTTP-date), so every
+// hint is rounded up to whole seconds with a floor of "1" — a decimal like
+// "0.25" is spec-invalid and strict proxies and clients reject or misparse
+// it. Clients wanting sub-second precision read X-SAG-Retry-After-Ms (see
+// FormatRetryAfterMs), which carries the same hint in integral milliseconds.
 func FormatRetryAfter(d time.Duration) string {
-	s := d.Seconds()
-	switch {
-	case s >= 1:
-		return strconv.Itoa(int(math.Ceil(s)))
-	case s <= 0:
-		return "1"
-	default:
-		// Ceil to 10ms resolution so the hint never undershoots.
-		return strconv.FormatFloat(math.Ceil(s*100)/100, 'f', -1, 64)
+	s := int(math.Ceil(d.Seconds()))
+	if s < 1 {
+		s = 1
 	}
+	return strconv.Itoa(s)
+}
+
+// FormatRetryAfterMs renders a hint for the X-SAG-Retry-After-Ms header:
+// integral milliseconds, rounded up, floored at 1. The companion to
+// FormatRetryAfter — Retry-After stays spec-valid coarse seconds while this
+// header preserves the precision a 50ms backlog deserves (rounding it up to
+// "1" second would tell clients to wait 20× longer than needed).
+func FormatRetryAfterMs(d time.Duration) string {
+	ms := (d + time.Millisecond - 1) / time.Millisecond
+	if ms < 1 {
+		ms = 1
+	}
+	return strconv.FormatInt(int64(ms), 10)
 }
 
 // waiter is one queued request.

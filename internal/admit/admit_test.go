@@ -407,14 +407,16 @@ func TestGateTableCapAndForget(t *testing.T) {
 }
 
 func TestFormatRetryAfter(t *testing.T) {
+	// RFC 9110 §10.2.3: Retry-After carries whole delta-seconds only.
+	// Sub-second hints must round UP to "1", never render as decimals.
 	cases := []struct {
 		d    time.Duration
 		want string
 	}{
 		{0, "1"},
 		{-time.Second, "1"},
-		{50 * time.Millisecond, "0.05"},
-		{250 * time.Millisecond, "0.25"},
+		{50 * time.Millisecond, "1"},
+		{250 * time.Millisecond, "1"},
 		{999 * time.Millisecond, "1"},
 		{time.Second, "1"},
 		{1500 * time.Millisecond, "2"},
@@ -423,6 +425,30 @@ func TestFormatRetryAfter(t *testing.T) {
 	for _, tc := range cases {
 		if got := FormatRetryAfter(tc.d); got != tc.want {
 			t.Errorf("FormatRetryAfter(%v) = %q, want %q", tc.d, got, tc.want)
+		}
+		if strings.Contains(FormatRetryAfter(tc.d), ".") {
+			t.Errorf("FormatRetryAfter(%v) = %q: decimal seconds are spec-invalid", tc.d, FormatRetryAfter(tc.d))
+		}
+	}
+}
+
+func TestFormatRetryAfterMs(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "1"},
+		{-time.Second, "1"},
+		{time.Microsecond, "1"},
+		{50 * time.Millisecond, "50"},
+		{250 * time.Millisecond, "250"},
+		{250*time.Millisecond + time.Microsecond, "251"},
+		{time.Second, "1000"},
+		{30 * time.Second, "30000"},
+	}
+	for _, tc := range cases {
+		if got := FormatRetryAfterMs(tc.d); got != tc.want {
+			t.Errorf("FormatRetryAfterMs(%v) = %q, want %q", tc.d, got, tc.want)
 		}
 	}
 }

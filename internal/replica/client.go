@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"math/rand"
 	"net/http"
@@ -59,6 +60,12 @@ type ClientConfig struct {
 	// (DefaultBackoffBase/Cap when zero).
 	BackoffBase time.Duration
 	BackoffCap  time.Duration
+	// JitterSeed seeds this client's private reconnect-jitter RNG, making
+	// backoff sequences deterministic in tests. Zero derives a per-client
+	// seed from the wall clock and the tenant ID — never the global
+	// math/rand source, whose shared unseeded stream correlates the
+	// "jitter" of every follower in one process into a thundering herd.
+	JitterSeed int64
 	// Metrics receives lag gauges and the reconnect counter; nil disables.
 	Metrics *obs.Registry
 	// Logf receives diagnostics; nil discards them.
@@ -74,10 +81,12 @@ type Client struct {
 	cfg  ClientConfig
 	http *http.Client
 	logf func(string, ...any)
+	rng  *rand.Rand // private jitter source; only Run's goroutine draws
 
 	lagRecords *obs.Gauge
 	lagSeconds *obs.Gauge
 	reconnects *obs.Counter
+	reseeds    *obs.Counter
 
 	mu             sync.Mutex
 	cur            wal.Cursor
@@ -121,6 +130,13 @@ func NewClient(cfg ClientConfig) *Client {
 	if c.cfg.BackoffCap <= 0 {
 		c.cfg.BackoffCap = DefaultBackoffCap
 	}
+	seed := cfg.JitterSeed
+	if seed == 0 {
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(cfg.Tenant))
+		seed = time.Now().UnixNano() ^ int64(h.Sum64())
+	}
+	c.rng = rand.New(rand.NewSource(seed))
 	if cfg.Metrics != nil {
 		lbl := obs.L("tenant", cfg.Tenant)
 		c.lagRecords = cfg.Metrics.Gauge(MetricLagRecords,
@@ -129,6 +145,8 @@ func NewClient(cfg ClientConfig) *Client {
 			"Seconds since the follower was last fully caught up.", lbl)
 		c.reconnects = cfg.Metrics.Counter(MetricReconnects,
 			"Replication stream reconnect attempts.", lbl)
+		c.reseeds = cfg.Metrics.Counter(MetricReseeds,
+			"Snapshot re-seeds (local copy discarded after diverging from the primary's retained journal).", lbl)
 	}
 	return c
 }
@@ -161,15 +179,10 @@ func (c *Client) Run(ctx context.Context) error {
 		}
 		if attempt > 0 {
 			c.reconnects.Inc()
-			d := c.cfg.BackoffBase << min(attempt-1, 16)
-			if d > c.cfg.BackoffCap || d <= 0 {
-				d = c.cfg.BackoffCap
-			}
-			d += time.Duration(rand.Int63n(int64(d)/2 + 1))
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
-			case <-time.After(d):
+			case <-time.After(c.backoff(attempt)):
 			}
 		}
 		attempt++
@@ -178,6 +191,7 @@ func (c *Client) Run(ctx context.Context) error {
 		case err == nil || errors.Is(err, context.Canceled):
 			// Clean disconnect or shutdown.
 		case errors.Is(err, errReseed):
+			c.reseeds.Inc()
 			c.logf("replica[%s]: diverged, re-seeding: %v", c.cfg.Tenant, err)
 			if rerr := c.reseed(); rerr != nil {
 				c.logf("replica[%s]: re-seed failed: %v", c.cfg.Tenant, rerr)
@@ -188,6 +202,17 @@ func (c *Client) Run(ctx context.Context) error {
 			c.logf("replica[%s]: stream ended: %v", c.cfg.Tenant, err)
 		}
 	}
+}
+
+// backoff returns the delay before reconnect attempt n (n >= 1): capped
+// exponential growth from BackoffBase plus up to 50% jitter drawn from the
+// client's private RNG, so a given JitterSeed yields a reproducible sequence.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.cfg.BackoffBase << min(attempt-1, 16)
+	if d > c.cfg.BackoffCap || d <= 0 {
+		d = c.cfg.BackoffCap
+	}
+	return d + time.Duration(c.rng.Int63n(int64(d)/2+1))
 }
 
 // reseed wipes local tenant state and resets the client to stream the

@@ -50,6 +50,11 @@ const (
 	// MetricReconnects counts replication stream (re)connect attempts after
 	// the first, per tenant.
 	MetricReconnects = "sag_replica_reconnects_total"
+	// MetricReseeds counts snapshot re-seeds — the follower discarded its
+	// local copy because its cursor fell off the primary's retained journal.
+	// With retention leases on the primary this stays at zero for a
+	// connected follower no matter how aggressively the primary compacts.
+	MetricReseeds = "sag_replica_reseeds_total"
 )
 
 // Wire headers of the replication handshake.

@@ -340,3 +340,159 @@ func TestClientReconnectsWithBackoff(t *testing.T) {
 	cancel()
 	<-done
 }
+
+// TestBackoffDeterministicWithSeed pins the reconnect jitter: a seeded client
+// must produce a reproducible backoff sequence (the old code drew from the
+// global math/rand, so drills could not replay a reconnect storm), and the
+// jitter must stay within [d, 1.5d] of the exponential base.
+func TestBackoffDeterministicWithSeed(t *testing.T) {
+	mk := func(seed int64) *Client {
+		return NewClient(ClientConfig{
+			Primary: "http://127.0.0.1:0", Tenant: "default", Dir: t.TempDir(),
+			Apply:       func(wal.Record, wal.Cursor) error { return nil },
+			BackoffBase: 10 * time.Millisecond, BackoffCap: 500 * time.Millisecond,
+			JitterSeed: seed,
+		})
+	}
+	a, b := mk(42), mk(42)
+	var seqA, seqB []time.Duration
+	for attempt := 1; attempt <= 12; attempt++ {
+		seqA = append(seqA, a.backoff(attempt))
+		seqB = append(seqB, b.backoff(attempt))
+	}
+	for i := range seqA {
+		if seqA[i] != seqB[i] {
+			t.Fatalf("same seed diverged at attempt %d: %v != %v", i+1, seqA[i], seqB[i])
+		}
+	}
+	for i, d := range seqA {
+		base := 10 * time.Millisecond << min(i, 16)
+		if base > 500*time.Millisecond || base <= 0 {
+			base = 500 * time.Millisecond
+		}
+		if d < base || d > base+base/2 {
+			t.Fatalf("attempt %d backoff %v outside [%v, %v]", i+1, d, base, base+base/2)
+		}
+	}
+	c := mk(43)
+	differs := false
+	for attempt := 1; attempt <= 12; attempt++ {
+		if c.backoff(attempt) != seqA[attempt-1] {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Fatal("different seeds produced identical jitter sequences")
+	}
+	// Unseeded clients self-seed (never the zero global-rand sequence twice).
+	d1, d2 := NewClient(ClientConfig{
+		Primary: "x", Tenant: "t1", Dir: t.TempDir(),
+		Apply:       func(wal.Record, wal.Cursor) error { return nil },
+		BackoffBase: 10 * time.Millisecond, BackoffCap: 500 * time.Millisecond,
+	}), NewClient(ClientConfig{
+		Primary: "x", Tenant: "t2", Dir: t.TempDir(),
+		Apply:       func(wal.Record, wal.Cursor) error { return nil },
+		BackoffBase: 10 * time.Millisecond, BackoffCap: 500 * time.Millisecond,
+	})
+	same := true
+	for attempt := 1; attempt <= 12; attempt++ {
+		if d1.backoff(attempt) != d2.backoff(attempt) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("two unseeded clients produced identical jitter sequences")
+	}
+}
+
+// TestStreamLeasePinsPruneForConnectedFollower is the tentpole's no-409
+// guarantee: with a follower connected, the primary snapshots and prunes
+// repeatedly while the journal rolls; the stream's retention lease must keep
+// every still-unshipped segment on disk so the follower reaches lag 0 with
+// zero re-seeds and a byte-identical mirror.
+func TestStreamLeasePinsPruneForConnectedFollower(t *testing.T) {
+	p := newPrimary(t)
+	p.append(quit(0))
+
+	dir := t.TempDir()
+	var got applied
+	cl := NewClient(ClientConfig{
+		Primary: p.ts.URL, Tenant: "default", Dir: dir,
+		Apply: got.apply,
+		Reset: func() error { t.Error("re-seed under a live lease"); return nil },
+		Logf:  t.Logf,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); _ = cl.Run(ctx) }()
+	waitFor(t, "stream connected", func() bool {
+		_, ok := cl.Lag()
+		return ok
+	})
+	waitFor(t, "lease registered", func() bool {
+		_, held := p.j.LeaseFloor()
+		return held
+	})
+
+	// Three compaction rounds against the live stream: roll several segments,
+	// snapshot (which prunes), repeat. SegmentBytes=128 rolls every few
+	// records.
+	n := 1
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 12; i++ {
+			p.append(quit(n))
+			n++
+		}
+		if err := p.j.Snapshot([]byte(`{"round":true}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Lag alone can read 0 against a heartbeat from before the final round's
+	// frames, so also require the mirror's cursor to reach the primary's end.
+	end := p.j.DurableCursor()
+	waitFor(t, "follower caught up through all prunes", func() bool {
+		lag, ok := cl.Lag()
+		return ok && lag == 0 && cl.State().Cursor == end
+	})
+	cancel()
+	<-done
+
+	// The mirror's tail is byte-identical to the primary's journal. Record
+	// counts intentionally differ: the primary pruned its history while the
+	// follower's mirror accumulates the full stream (followers do not prune;
+	// see DESIGN.md).
+	srcRec, err := wal.Recover(p.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dstRec, err := wal.Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dstRec.End != srcRec.End || dstRec.LastCRC != srcRec.LastCRC {
+		t.Fatalf("mirror recovery (%v %08x) != source (%v %08x)",
+			dstRec.End, dstRec.LastCRC, srcRec.End, srcRec.LastCRC)
+	}
+	if dstRec.Records < srcRec.Records {
+		t.Fatalf("mirror lost records: %d < retained %d", dstRec.Records, srcRec.Records)
+	}
+
+	// With the follower gone, the lease is released and the retained debt is
+	// reclaimable again.
+	waitFor(t, "lease released after disconnect", func() bool {
+		_, held := p.j.LeaseFloor()
+		return !held
+	})
+	if _, _, err := p.j.Prune(); err != nil {
+		t.Fatal(err)
+	}
+	oldest, ok, err := wal.OldestCursor(p.dir)
+	if err != nil || !ok {
+		t.Fatalf("OldestCursor: %v ok=%v", err, ok)
+	}
+	if snapSeg := p.j.RetainStats().SnapshotSeg; oldest.Seg != snapSeg {
+		t.Fatalf("post-release prune left oldest=%d, want snapshot seg %d", oldest.Seg, snapSeg)
+	}
+}

@@ -25,6 +25,17 @@ type Source interface {
 	Subscribe() (<-chan struct{}, func())
 }
 
+// Leaser is optionally implemented by Sources whose segments can be pruned
+// while a stream is reading them (*wal.Journal implements it). A stream
+// over such a source holds a retention lease for its lifetime: acquired at
+// the negotiated resume cursor, advanced as frames ship and on every
+// heartbeat, released when the stream ends — so compaction prunes only what
+// every connected follower is already past, and a live stream never dies
+// with ErrCursorGone under a snapshot-then-prune.
+type Leaser interface {
+	AcquireLease(cur wal.Cursor) *wal.Lease
+}
+
 // StreamConfig configures one ServeStream call.
 type StreamConfig struct {
 	// Source is the tenant journal to ship. Required.
@@ -57,6 +68,16 @@ func ServeStream(w http.ResponseWriter, r *http.Request, cfg StreamConfig) {
 		return
 	}
 
+	// Pin the journal suffix this follower still needs. The lease lives
+	// exactly as long as the stream: a disconnected follower pins nothing
+	// (its next connect renegotiates, and a prune in the gap legitimately
+	// demands a re-seed), but a connected one is never pruned under.
+	var lease *wal.Lease
+	if lr, ok := src.(Leaser); ok {
+		lease = lr.AcquireLease(cur)
+	}
+	defer lease.Release()
+
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set(HeaderApplyFrom, applyFrom.String())
 	w.WriteHeader(http.StatusOK)
@@ -85,6 +106,7 @@ func ServeStream(w http.ResponseWriter, r *http.Request, cfg StreamConfig) {
 				return
 			}
 			cur = next
+			lease.Advance(cur) // shipped frames no longer need pinning
 			if st.heartbeat(src) != nil {
 				return
 			}
@@ -95,6 +117,9 @@ func ServeStream(w http.ResponseWriter, r *http.Request, cfg StreamConfig) {
 			return
 		case <-sub:
 		case <-ticker.C:
+			// Heartbeats double as lease renewal: an idle-but-alive stream
+			// keeps its pin current at the position it would resume from.
+			lease.Advance(cur)
 			if st.heartbeat(src) != nil {
 				return
 			}

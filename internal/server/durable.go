@@ -8,9 +8,11 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"github.com/auditgames/sag/internal/core"
 	"github.com/auditgames/sag/internal/obs"
+	"github.com/auditgames/sag/internal/retain"
 	"github.com/auditgames/sag/internal/shard"
 	"github.com/auditgames/sag/internal/wal"
 )
@@ -211,6 +213,12 @@ func (s *Server) applyRecord(t *tenantState, r wal.Record) error {
 // to call from the engine's journal hook (it only touches atomics and at
 // most spawns one goroutine).
 func (s *Server) noteAppend(t *tenantState) {
+	t.lastAppend.Store(time.Now().UnixNano())
+	if s.retain != nil {
+		// Snapshot-now under pressure: a write burst meets compaction at the
+		// kick (coalesced, debounced in the compactor), not at the next tick.
+		s.retain.Kick()
+	}
 	every := s.cfg.SnapshotEvery
 	if every <= 0 {
 		every = DefaultSnapshotEvery
@@ -252,6 +260,64 @@ func (s *Server) journalRecord(w http.ResponseWriter, t *tenantState, r wal.Reco
 	}
 	s.noteAppend(t)
 	return true
+}
+
+// retainTarget adapts one tenant to the retention compactor's Tenant view.
+// Every method tolerates the tenant's journal being nil (a follower before
+// promotion) or sealed (eviction raced the scan) by reporting nothing to do.
+type retainTarget struct {
+	s *Server
+	t *tenantState
+}
+
+func (rt retainTarget) RetainID() string { return rt.t.id }
+
+func (rt retainTarget) RetainStats() (wal.RetainStats, bool) {
+	j := rt.t.journal
+	if j == nil {
+		return wal.RetainStats{}, false
+	}
+	return j.RetainStats(), true
+}
+
+func (rt retainTarget) Prune() (int, int64, error) {
+	j := rt.t.journal
+	if j == nil {
+		return 0, 0, nil
+	}
+	return j.Prune()
+}
+
+// Compact snapshots-then-prunes the tenant. TryLock is the "never while a
+// cycle rollover holds the lifecycle write lock" rule: a rollover (or an
+// in-flight snapshot, or eviction) owns the write side, and queueing behind
+// it would stall the whole compaction round on one busy tenant — the
+// compactor skips it and returns next round.
+func (rt retainTarget) Compact() error {
+	t := rt.t
+	if !t.lifecycle.TryLock() {
+		return retain.ErrBusy
+	}
+	defer t.lifecycle.Unlock()
+	if t.sealed || t.journal == nil {
+		return nil
+	}
+	return rt.s.snapshotTenantLocked(t)
+}
+
+func (rt retainTarget) LastAppend() time.Time {
+	return time.Unix(0, rt.t.lastAppend.Load())
+}
+
+// listRetainTenants is the compactor's Config.List: the resident tenants as
+// retention targets.
+func (s *Server) listRetainTenants() []retain.Tenant {
+	out := make([]retain.Tenant, 0, s.router.Len())
+	s.router.Range(func(tn *shard.Tenant) bool {
+		out = append(out, retainTarget{s: s, t: tn.Data.(*tenantState)})
+		return true
+	})
+	return out
 }
 
 // exportTenant encodes t's full state. The caller holds t.lifecycle
@@ -344,6 +410,11 @@ func (s *Server) SnapshotAll() error {
 // the HTTP listener has stopped; it is what makes SIGTERM indistinguishable
 // from a clean restart.
 func (s *Server) Close() error {
+	if s.retain != nil {
+		// Stop the compactor before sealing journals so no compaction round
+		// races the close-time snapshots.
+		s.retain.Stop()
+	}
 	if !s.durable() {
 		return nil
 	}
@@ -382,6 +453,12 @@ func (s *Server) evictTenant(tn *shard.Tenant) {
 	// return before the journal work below.
 	if s.admit != nil {
 		s.admit.Forget(t.id)
+	}
+	if s.retain != nil {
+		// The evicted tenant no longer counts against the resident budget
+		// (its journal directory persists, but restore-on-first-use re-adds
+		// it); zero its gauges and lift any disk-pressure block.
+		s.retain.Forget(t.id)
 	}
 	if t.journal == nil {
 		return

@@ -70,8 +70,9 @@ func overloadFixture(t *testing.T, adm admit.Config, solveDelay time.Duration) (
 }
 
 // tenantAccess fires one decision request for tenant and returns the status
-// plus the Retry-After header (empty unless shed).
-func tenantAccess(t *testing.T, ts *httptest.Server, tenant string, bgE, bgP int) (int, string) {
+// plus both backoff headers (empty unless shed): the coarse RFC 9110
+// Retry-After and the precise X-SAG-Retry-After-Ms.
+func tenantAccess(t *testing.T, ts *httptest.Server, tenant string, bgE, bgP int) (int, string, string) {
 	t.Helper()
 	body := strings.NewReader(`{"employee_id":` + strconv.Itoa(bgE) + `,"patient_id":` + strconv.Itoa(bgP) + `}`)
 	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/access", body)
@@ -85,14 +86,16 @@ func tenantAccess(t *testing.T, ts *httptest.Server, tenant string, bgE, bgP int
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	return resp.StatusCode, resp.Header.Get("Retry-After")
+	return resp.StatusCode, resp.Header.Get("Retry-After"), resp.Header.Get(RetryAfterMsHeader)
 }
 
 // TestOverloadGreedyTenantShedPoliteSurvives runs the acceptance shape at
 // test scale: one greedy tenant floods a small queue from several unpaced
 // workers while a polite tenant sends paced singles. The polite tenant must
 // keep near-full goodput; the greedy tenant must see 503s carrying computed
-// (non-constant) Retry-After hints; the shed must show up in /v1/metrics.
+// (non-constant) backoff hints — sub-second projections all collapse to the
+// RFC 9110 integer floor "1" in Retry-After, so load-dependence shows in the
+// precise X-SAG-Retry-After-Ms header; the shed must show up in /v1/metrics.
 func TestOverloadGreedyTenantShedPoliteSurvives(t *testing.T) {
 	// 10ms solves and 2 greedy slots cap the greedy tenant at ~200
 	// decisions/s; 12 closed-loop greedy workers keep its queue pinned past
@@ -108,7 +111,7 @@ func TestOverloadGreedyTenantShedPoliteSurvives(t *testing.T) {
 
 	// Warm both tenants (creates engines; also seeds the drain-rate window).
 	for _, tenant := range []string{"greedy", "polite"} {
-		if code, _ := tenantAccess(t, ts, tenant, bgE, bgP); code != http.StatusOK {
+		if code, _, _ := tenantAccess(t, ts, tenant, bgE, bgP); code != http.StatusOK {
 			t.Fatalf("warm access for %s: status %d", tenant, code)
 		}
 	}
@@ -132,14 +135,17 @@ func TestOverloadGreedyTenantShedPoliteSurvives(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for !stop.Load() {
-				code, ra := tenantAccess(t, ts, "greedy", bgE, bgP)
+				code, ra, ms := tenantAccess(t, ts, "greedy", bgE, bgP)
 				switch code {
 				case http.StatusOK:
 					greedyOK.Add(1)
 				case http.StatusServiceUnavailable:
 					greedyShed.Add(1)
+					if ra == "" {
+						ms = "" // missing either header is the failure below
+					}
 					hintsMu.Lock()
-					hints[ra]++
+					hints[ms]++
 					hintsMu.Unlock()
 				default:
 					t.Errorf("greedy access: unexpected status %d", code)
@@ -151,7 +157,7 @@ func TestOverloadGreedyTenantShedPoliteSurvives(t *testing.T) {
 
 	politeOK := 0
 	for i := 0; i < politeRequests; i++ {
-		if code, _ := tenantAccess(t, ts, "polite", bgE, bgP); code == http.StatusOK {
+		if code, _, _ := tenantAccess(t, ts, "polite", bgE, bgP); code == http.StatusOK {
 			politeOK++
 		}
 		time.Sleep(politeInterval)
@@ -174,11 +180,11 @@ func TestOverloadGreedyTenantShedPoliteSurvives(t *testing.T) {
 	_, sawEmpty := hints[""]
 	hintsMu.Unlock()
 	if sawEmpty {
-		t.Error("a 503 shed response carried no Retry-After header")
+		t.Error("a 503 shed response was missing a backoff header")
 	}
 	if greedyShed.Load() >= 10 && distinct < 2 {
-		t.Errorf("all %d sheds carried the same Retry-After hint %v: hint is not computed from load",
-			greedyShed.Load(), hints)
+		t.Errorf("all %d sheds carried the same %s hint %v: hint is not computed from load",
+			greedyShed.Load(), RetryAfterMsHeader, hints)
 	}
 
 	code, metrics := getRaw(t, ts, "/v1/metrics")
@@ -198,15 +204,16 @@ func TestOverloadGreedyTenantShedPoliteSurvives(t *testing.T) {
 }
 
 // TestOverloadRateLimitRetryAfter: a pure rate-limit config sheds the
-// over-rate tenant with sub-second decimal Retry-After hints that grow as the
-// bucket debt deepens.
+// over-rate tenant with spec-valid Retry-After hints — the sub-second bucket
+// refill rounds up to RFC 9110's integer floor of 1s (the precise hint rides
+// in X-SAG-Retry-After-Ms; see retain_test.go's checkRetryHeaders).
 func TestOverloadRateLimitRetryAfter(t *testing.T) {
 	_, ts, bgE, bgP := overloadFixture(t, admit.Config{Rate: 5, Burst: 2}, 0)
 
 	okCount, shed := 0, 0
 	var hints []string
 	for i := 0; i < 6; i++ {
-		code, ra := tenantAccess(t, ts, "bursty", bgE, bgP)
+		code, ra, _ := tenantAccess(t, ts, "bursty", bgE, bgP)
 		switch code {
 		case http.StatusOK:
 			okCount++
@@ -227,12 +234,12 @@ func TestOverloadRateLimitRetryAfter(t *testing.T) {
 			t.Fatalf("unparseable Retry-After %q: %v", ra, err)
 		}
 		if v <= 0 || v > 1 {
-			t.Fatalf("rate-shed Retry-After %q outside (0, 1]: bucket refills a token every 200ms", ra)
+			t.Fatalf("rate-shed Retry-After %q outside (0, 1]: a 200ms refill must ceil to exactly 1s", ra)
 		}
 	}
 	// A tenant that waits out its hint gets back in.
 	time.Sleep(450 * time.Millisecond)
-	if code, _ := tenantAccess(t, ts, "bursty", bgE, bgP); code != http.StatusOK {
+	if code, _, _ := tenantAccess(t, ts, "bursty", bgE, bgP); code != http.StatusOK {
 		t.Fatalf("after backoff: status %d, want 200", code)
 	}
 }
@@ -245,8 +252,8 @@ func TestOverloadAdmissionDisabledByDefault(t *testing.T) {
 		t.Fatal("zero-value Admission config built a controller")
 	}
 	for i := 0; i < 20; i++ {
-		if code, ra := tenantAccess(t, ts, "anyone", bgE, bgP); code != http.StatusOK || ra != "" {
-			t.Fatalf("request %d: status %d retry-after %q, want 200 with no header", i, code, ra)
+		if code, ra, ms := tenantAccess(t, ts, "anyone", bgE, bgP); code != http.StatusOK || ra != "" || ms != "" {
+			t.Fatalf("request %d: status %d retry-after %q/%q, want 200 with no backoff headers", i, code, ra, ms)
 		}
 	}
 }

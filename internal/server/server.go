@@ -61,6 +61,7 @@ import (
 	"github.com/auditgames/sag/internal/faultinject"
 	"github.com/auditgames/sag/internal/game"
 	"github.com/auditgames/sag/internal/obs"
+	"github.com/auditgames/sag/internal/retain"
 	"github.com/auditgames/sag/internal/shard"
 	"github.com/auditgames/sag/internal/wal"
 )
@@ -167,6 +168,18 @@ type Config struct {
 	// wal.DefaultSegmentBytes. Only meaningful with DataDir. Drills shrink
 	// it to force segment rolls (and snapshot pruning) quickly.
 	SegmentBytes int64
+	// DiskBudgetBytes, when positive, bounds the box-wide journal footprint:
+	// a background compactor (see internal/retain) accounts every resident
+	// tenant's journal bytes against this budget and schedules
+	// snapshot-then-prune on the tenants holding the most reclaimable bytes.
+	// When the box stays over budget and a tenant has nothing left to
+	// reclaim, its hot-path mutations answer 507 + Retry-After. Zero
+	// disables retention (journals grow until their own snapshot cadence
+	// prunes them). Only meaningful with DataDir.
+	DiskBudgetBytes int64
+	// CompactInterval is the retention compactor's scan cadence; zero
+	// selects retain.DefaultInterval. Only meaningful with DiskBudgetBytes.
+	CompactInterval time.Duration
 	// FollowPrimary, when non-empty, starts the server as a hot standby of
 	// the primary at this base URL: every durable tenant is replicated via
 	// WAL log shipping (see internal/replica), reads are served from the
@@ -224,6 +237,7 @@ type tenantState struct {
 
 	walRecords   atomic.Int64 // journal records since the last snapshot
 	snapshotting atomic.Bool  // one background snapshot at a time
+	lastAppend   atomic.Int64 // unix nanos of the last journal append (retention idleness)
 
 	// repl is the follower-side replication position recovered from the
 	// tenant's mirrored journal at build time, and written back by the
@@ -256,6 +270,10 @@ type Server struct {
 	// admit is the admission controller gating the mutation hot path; nil
 	// when Config.Admission is the zero value (admit everything).
 	admit *admit.Controller
+
+	// retain is the background retention compactor bounding journal disk
+	// use; nil unless DataDir and DiskBudgetBytes are both set.
+	retain *retain.Compactor
 
 	// following is true while the server is a replicating standby; flipped
 	// false (permanently) by Promote. Mutation handlers gate on it.
@@ -295,6 +313,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.FollowPrimary != "" && cfg.DataDir == "" {
 		return nil, errors.New("server: following a primary requires a data dir")
+	}
+	if cfg.DiskBudgetBytes > 0 && cfg.DataDir == "" {
+		return nil, errors.New("server: a disk budget requires a data dir")
 	}
 	detector, err := alerts.NewEngine(cfg.World, cfg.Taxonomy)
 	if err != nil {
@@ -365,6 +386,20 @@ func New(cfg Config) (*Server, error) {
 	}
 	if _, _, err := s.router.GetOrCreate(s.defaultID); err != nil {
 		return nil, err
+	}
+	if s.durable() && cfg.DiskBudgetBytes > 0 {
+		comp, err := retain.New(retain.Config{
+			BudgetBytes: cfg.DiskBudgetBytes,
+			Interval:    cfg.CompactInterval,
+			List:        s.listRetainTenants,
+			Metrics:     s.met.reg,
+			Logf:        cfg.Logf,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: retention: %w", err)
+		}
+		s.retain = comp
+		comp.Start()
 	}
 	s.ready.Store(true)
 	return s, nil
@@ -621,23 +656,39 @@ func (s *Server) Handler() http.Handler {
 	return s.retryAfter(root)
 }
 
+// RetryAfterMsHeader carries the backoff hint in integral milliseconds.
+// Retry-After itself is constrained by RFC 9110 to whole delta-seconds, so
+// sub-second hints round up to "1" there; clients wanting the precise hint
+// (cmd/sagload does) read this header and fall back to Retry-After.
+const RetryAfterMsHeader = "X-SAG-Retry-After-Ms"
+
+// setRetryHeaders stamps both backoff headers for one hint: Retry-After as
+// RFC 9110 whole seconds, X-SAG-Retry-After-Ms as precise milliseconds.
+func setRetryHeaders(h http.Header, d time.Duration) {
+	h.Set("Retry-After", admit.FormatRetryAfter(d))
+	h.Set(RetryAfterMsHeader, admit.FormatRetryAfterMs(d))
+}
+
 // retryAfterWriter stamps backpressure responses (429 tenant limit, 503
-// draining / request timeout / standby) with a Retry-After hint so
-// well-behaved clients back off instead of hammering. Responses that
-// already carry the header — admission sheds compute a per-request hint —
-// keep theirs; the rest get this writer's fallback hint, which the
-// admission controller derives from the observed queue drain rate (a
-// constant "1" only when admission control is disabled and the server has
-// no drain measurements to compute from).
+// draining / request timeout / standby, 507 disk pressure) with Retry-After
+// and X-SAG-Retry-After-Ms hints so well-behaved clients back off instead of
+// hammering. Responses that already carry Retry-After — admission sheds and
+// the disk-pressure gate compute per-request hints — keep theirs; the rest
+// get this writer's fallback hint, which the admission controller derives
+// from the observed queue drain rate (a constant 1s only when admission
+// control is disabled and the server has no drain measurements to compute
+// from).
 type retryAfterWriter struct {
 	http.ResponseWriter
-	hint func() string
+	hint func() time.Duration
 }
 
 func (w *retryAfterWriter) WriteHeader(code int) {
-	if (code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable) &&
-		w.Header().Get("Retry-After") == "" {
-		w.Header().Set("Retry-After", w.hint())
+	switch code {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusInsufficientStorage:
+		if w.Header().Get("Retry-After") == "" {
+			setRetryHeaders(w.Header(), w.hint())
+		}
 	}
 	w.ResponseWriter.WriteHeader(code)
 }
@@ -647,11 +698,11 @@ func (w *retryAfterWriter) WriteHeader(code int) {
 func (w *retryAfterWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 func (s *Server) retryAfter(h http.Handler) http.Handler {
-	hint := func() string {
+	hint := func() time.Duration {
 		if s.admit != nil {
-			return admit.FormatRetryAfter(s.admit.RetryHint())
+			return s.admit.RetryHint()
 		}
-		return "1"
+		return time.Second
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		h.ServeHTTP(&retryAfterWriter{ResponseWriter: w, hint: hint}, r)
@@ -692,6 +743,27 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
 		Status string `json:"status"`
 	}{Status: "ready"})
+}
+
+// rejectIfDiskPressure answers 507 + Retry-After for hot-path mutations of a
+// tenant the retention compactor has blocked: the box is over its disk
+// budget and this tenant's journal is all live tail, so its writes are pure
+// growth. Deliberately NOT applied to /v1/cycle/close, /v1/cycle/new, or
+// /v1/admin/snapshot — those are exactly how a blocked tenant's bytes become
+// reclaimable again. Runs before admission control so a doomed request
+// cannot consume a token or a queue slot.
+func (s *Server) rejectIfDiskPressure(w http.ResponseWriter, tenant string) bool {
+	if s.retain == nil {
+		return false
+	}
+	ra, blocked := s.retain.Blocked(tenant)
+	if !blocked {
+		return false
+	}
+	setRetryHeaders(w.Header(), ra)
+	writeJSON(w, http.StatusInsufficientStorage, apiError{
+		Error: fmt.Sprintf("disk budget exhausted: tenant %q has no reclaimable journal bytes; close the cycle or retry later", tenant)})
+	return true
 }
 
 // rejectIfFollowing answers 503 for mutations while the server is a standby;
@@ -765,10 +837,10 @@ func (s *Server) admitRequest(w http.ResponseWriter, r *http.Request, tenant str
 	if err != nil {
 		var shed *admit.ShedError
 		if errors.As(err, &shed) {
-			hint := admit.FormatRetryAfter(shed.RetryAfter)
-			w.Header().Set("Retry-After", hint)
+			setRetryHeaders(w.Header(), shed.RetryAfter)
 			writeJSON(w, http.StatusServiceUnavailable, apiError{
-				Error: fmt.Sprintf("overloaded (%s): request shed; retry after %ss", shed.Reason, hint)})
+				Error: fmt.Sprintf("overloaded (%s): request shed; retry after %ss",
+					shed.Reason, admit.FormatRetryAfter(shed.RetryAfter))})
 		} else {
 			writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
 		}
@@ -900,6 +972,9 @@ func (s *Server) handleAccess(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := s.tenantID(r, req.Tenant)
+	if s.rejectIfDiskPressure(w, id) {
+		return
+	}
 	// Admission control runs before any tenant state is touched: a shed
 	// request costs the box one token-bucket check, not a solve.
 	release, ok := s.admitRequest(w, r, id)
@@ -1035,6 +1110,9 @@ func (s *Server) handleQuit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := s.tenantID(r, req.Tenant)
+	if s.rejectIfDiskPressure(w, id) {
+		return
+	}
 	release, ok := s.admitRequest(w, r, id)
 	if !ok {
 		return

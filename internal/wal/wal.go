@@ -159,6 +159,15 @@ type Journal struct {
 	subs           map[int]chan struct{}
 	nextSubID      int
 
+	// Retention bookkeeping (see retain.go): bytes per sealed segment, the
+	// segment holding the newest snapshot (-1 when none), and the live
+	// leases (id → pinned segment) that clamp the prune frontier.
+	sealedBytes map[int]int64
+	snapSeg     int
+	leases      map[int]int
+	nextLeaseID int
+	pruneMu     sync.Mutex // serializes Prune (deletion + accounting)
+
 	syncReq chan struct{}
 	done    chan struct{}
 	wg      sync.WaitGroup
@@ -192,6 +201,11 @@ func Open(dir string, opts Options) (*Journal, *Recovery, error) {
 		appends:   opts.Metrics.Counter(MetricAppendsTotal, "Journal records appended.", opts.Labels...),
 		fsyncSec:  opts.Metrics.Histogram(MetricFsyncSeconds, "Journal fsync latency in seconds.", obs.DefTimeBuckets, opts.Labels...),
 		snapBytes: opts.Metrics.Gauge(MetricSnapshotBytes, "Size of the last snapshot record in bytes.", opts.Labels...),
+	}
+	// Seed the retention accounting before the fresh active segment exists:
+	// everything currently on disk is sealed.
+	if err := j.initRetainLocked(); err != nil {
+		return nil, nil, err
 	}
 	if err := j.openSegmentLocked(); err != nil {
 		return nil, nil, err
@@ -294,6 +308,10 @@ func (j *Journal) rollLocked() error {
 	if err != nil {
 		return err
 	}
+	if j.sealedBytes == nil {
+		j.sealedBytes = make(map[int]int64)
+	}
+	j.sealedBytes[j.seq] = j.written
 	j.seq++
 	return j.openSegmentLocked()
 }
@@ -528,34 +546,16 @@ func (j *Journal) Snapshot(blob []byte) error {
 	j.fsyncSec.ObserveSince(t0)
 	j.mu.Lock()
 	j.advanceDurableLocked(end, nrecs)
+	if snapSeg > j.snapSeg {
+		j.snapSeg = snapSeg
+	}
 	j.mu.Unlock()
 	j.snapBytes.Set(float64(len(blob)))
-	return j.pruneBefore(snapSeg)
-}
-
-// pruneBefore deletes sealed segments with sequence numbers below keep.
-func (j *Journal) pruneBefore(keep int) error {
-	segs, err := segments(j.dir)
-	if err != nil {
-		return err
-	}
-	removed := false
-	for _, s := range segs {
-		n, err := segmentSeq(s)
-		if err != nil {
-			continue // foreign file matching the glob; leave it alone
-		}
-		if n < keep {
-			if err := os.Remove(s); err != nil {
-				return fmt.Errorf("wal: pruning %s: %w", s, err)
-			}
-			removed = true
-		}
-	}
-	if removed {
-		return syncDir(j.dir)
-	}
-	return nil
+	// Prune what the snapshot superseded — clamped at the lease floor, so a
+	// replication stream still reading old segments is never cut off (see
+	// retain.go).
+	_, _, err = j.Prune()
+	return err
 }
 
 // Sync forces buffered records to stable storage (used by tests and by
@@ -596,6 +596,13 @@ func (j *Journal) Close() error {
 	waiters := j.pending
 	j.pending = nil
 	err := j.sealLocked()
+	// The sealed active segment stays on disk: fold it into the sealed-byte
+	// accounting so RetainStats keeps describing the directory truthfully.
+	if j.sealedBytes == nil {
+		j.sealedBytes = make(map[int]int64)
+	}
+	j.sealedBytes[j.seq] = j.written
+	j.written = 0
 	j.mu.Unlock()
 	for _, ch := range waiters {
 		ch <- err
